@@ -1,0 +1,125 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every table/figure bench follows the same pattern: build the benchmark
+circuits, run the flows, render the paper-style text table, print it, and
+persist it under ``benchmarks/results/`` so the output survives pytest's
+capture.  Environment knobs:
+
+* ``REPRO_PROFILE``  — ``scaled`` (default) or ``paper`` circuit widths.
+* ``REPRO_EFFORT``   — optimizer budget multiplier (default 1.0, the
+  paper's setting: N=30, Imax=20; lower it for quick smoke runs).
+* ``REPRO_VECTORS``  — Monte-Carlo vectors (default 1024; paper 1e5).
+* ``REPRO_SEED``     — RNG seed (default 0).
+* ``REPRO_CIRCUITS`` — comma-separated subset of Table I names.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro import FlowConfig, compare_methods
+from repro.bench import SUITE, build_benchmark
+from repro.cells import default_library
+from repro.reporting import ComparisonRow, format_comparison_table
+from repro.sim import ErrorMode
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The paper's loosest constraints (Tables II/III).
+ER_BOUND = 0.05
+NMED_BOUND = 0.0244
+
+#: Fig. 7 sweeps.
+ER_POINTS = [0.01, 0.02, 0.03, 0.04, 0.05]
+NMED_POINTS = [0.0048, 0.0098, 0.0147, 0.0196, 0.0244]
+
+
+def effort() -> float:
+    return float(os.environ.get("REPRO_EFFORT", "1.0"))
+
+
+def num_vectors() -> int:
+    return int(os.environ.get("REPRO_VECTORS", "1024"))
+
+
+def seed() -> int:
+    return int(os.environ.get("REPRO_SEED", "0"))
+
+
+def profile() -> str:
+    return os.environ.get("REPRO_PROFILE", "scaled")
+
+
+def circuit_subset(names: Sequence[str]) -> List[str]:
+    """Apply the REPRO_CIRCUITS filter to a default circuit list."""
+    raw = os.environ.get("REPRO_CIRCUITS")
+    if not raw:
+        return list(names)
+    wanted = {n.strip() for n in raw.split(",") if n.strip()}
+    return [n for n in names if n in wanted]
+
+
+def flow_config(mode: ErrorMode, bound: float, **overrides) -> FlowConfig:
+    cfg = FlowConfig(
+        error_mode=mode,
+        error_bound=bound,
+        num_vectors=num_vectors(),
+        effort=effort(),
+        seed=seed(),
+    )
+    for key, value in overrides.items():
+        setattr(cfg, key, value)
+    return cfg
+
+
+def run_comparison_table(
+    title: str,
+    circuit_names: Sequence[str],
+    mode: ErrorMode,
+    bound: float,
+    methods: Sequence[str],
+) -> str:
+    """Run a full Table II/III-style comparison and render it."""
+    library = default_library()
+    rows: List[ComparisonRow] = []
+    for name in circuit_names:
+        accurate = build_benchmark(name, profile())
+        cfg = flow_config(mode, bound)
+        results = compare_methods(
+            accurate, methods=methods, config=cfg, library=library
+        )
+        row = ComparisonRow(
+            circuit=name, area_con=results[methods[0]].area_ori
+        )
+        for method, res in results.items():
+            row.ratios[method] = res.ratio_cpd
+            row.runtimes[method] = res.runtime_s
+        rows.append(row)
+    return format_comparison_table(title, rows, methods)
+
+
+def paper_reference_note(table: str) -> str:
+    """The paper's published averages, for side-by-side reading."""
+    if table == "II":
+        return (
+            "paper Table II averages (Ratio_cpd): VECBEE-S 0.8811, "
+            "VaACS 0.8385, HEDALS 0.7687, GWO 0.8162, Ours 0.7287"
+        )
+    if table == "III":
+        return (
+            "paper Table III averages (Ratio_cpd): VECBEE-S 0.8732, "
+            "VaACS 0.7081, HEDALS 0.6731, GWO 0.7035, Ours 0.6146"
+        )
+    return ""
+
+
+def publish(name: str, text: str) -> None:
+    """Print the experiment output and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    print(f"[saved to {path}]")

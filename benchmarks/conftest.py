@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+The experiment harness lives here rather than in tests/ because each
+bench regenerates one of the paper's tables or figures, which is a
+measured workload rather than an assertion suite.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Rendered tables are printed (visible with ``-s``) and always written to
+``benchmarks/results/*.txt``.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `_common` importable regardless of pytest rootdir configuration.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,57 @@
+"""Runtime scaling of the DCGWO flow with circuit size.
+
+The paper's §IV summary claims the framework "maintains low time
+consumption" thanks to the fast LAC implementation on adjacency lists
+and the parallelism-friendly GWO structure.  This bench measures the
+wall-clock of one full DCGWO run (fixed small budget) across circuits of
+increasing gate count and reports seconds plus seconds-per-gate, so
+regressions in the evaluation hot path show up as super-linear growth.
+"""
+
+import time
+
+from _common import num_vectors, publish, seed
+
+from repro.bench import ripple_adder_circuit
+from repro.cells import default_library
+from repro.core import DCGWO, DCGWOConfig, EvalContext
+from repro.reporting import format_series
+from repro.sim import ErrorMode
+
+WIDTHS = (8, 16, 32, 64)
+
+
+def run_scaling():
+    library = default_library()
+    cfg_template = dict(population_size=8, imax=4, seed=seed())
+    rows = {"gates": [], "seconds": [], "ms_per_gate": []}
+    for width in WIDTHS:
+        circuit = ripple_adder_circuit(width)
+        ctx = EvalContext.build(
+            circuit, library, ErrorMode.NMED,
+            num_vectors=num_vectors(), seed=seed(),
+        )
+        start = time.perf_counter()
+        DCGWO(ctx, 0.0244, DCGWOConfig(**cfg_template)).optimize()
+        elapsed = time.perf_counter() - start
+        rows["gates"].append(float(circuit.num_gates))
+        rows["seconds"].append(elapsed)
+        rows["ms_per_gate"].append(1000.0 * elapsed / circuit.num_gates)
+    return rows
+
+
+def test_runtime_scaling(benchmark):
+    rows = benchmark.pedantic(
+        run_scaling, rounds=1, iterations=1, warmup_rounds=0
+    )
+    text = format_series(
+        "DCGWO runtime scaling on ripple adders (fixed N=8, Imax=4)",
+        "width",
+        list(WIDTHS),
+        rows,
+    )
+    publish("runtime_scaling", text)
+    # Soft check: per-gate cost must stay within an order of magnitude
+    # across an 8x size sweep (i.e. roughly linear overall scaling).
+    per_gate = rows["ms_per_gate"]
+    assert max(per_gate) <= 12 * min(per_gate)

@@ -1,0 +1,47 @@
+"""Table I: benchmark statistics (ours vs the paper's published rows)."""
+
+from _common import profile, publish
+
+from repro.bench import SUITE, build_benchmark
+from repro.cells import default_library
+from repro.reporting import format_stats_table
+from repro.sta import STAEngine
+
+
+def build_stats_rows():
+    library = default_library()
+    engine = STAEngine(library)
+    rows = []
+    for name, spec in SUITE.items():
+        circuit = build_benchmark(name, profile())
+        report = engine.analyze(circuit)
+        rows.append(
+            dict(
+                name=name,
+                type=spec.circuit_class.value,
+                gates=circuit.num_gates,
+                pi=len(circuit.pi_ids),
+                po=len(circuit.po_ids),
+                cpd=report.cpd,
+                area=circuit.area(library),
+                description=spec.paper.description
+                + f"  [paper: {spec.paper.num_gates}g,"
+                f" {spec.paper.cpd_ps}ps, {spec.paper.area_um2}um2]",
+            )
+        )
+    return rows
+
+
+def test_table1_benchmark_statistics(benchmark):
+    rows = benchmark.pedantic(
+        build_stats_rows, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert len(rows) == len(SUITE)
+    text = format_stats_table(rows)
+    publish(
+        "table1_stats",
+        f"Table I equivalent (profile={profile()})\n" + text,
+    )
+    for row in rows:
+        assert row["gates"] > 0
+        assert row["cpd"] > 0.0

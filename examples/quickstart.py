@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: approximate a 16-bit adder for timing under an NMED bound.
+
+Runs the paper's full pipeline on one circuit:
+
+1. build the accurate gate-level netlist (a mapped ripple-carry adder);
+2. run the double-chase grey wolf optimizer under a 2.44 % NMED bound;
+3. post-optimize (delete dangling gates, resize under the original area);
+4. report CPD / area / error before and after, plus the critical path.
+
+Run with ``python examples/quickstart.py``.  Takes a few seconds.
+"""
+
+from repro import ErrorMode, FlowConfig, run_flow
+from repro.bench import ripple_adder_circuit
+from repro.netlist import write_verilog
+from repro.sta import format_path
+
+def main() -> None:
+    accurate = ripple_adder_circuit(16, "adder16")
+    print(f"accurate circuit: {accurate}")
+
+    config = FlowConfig(
+        error_mode=ErrorMode.NMED,
+        error_bound=0.0244,  # the paper's loosest NMED constraint
+        num_vectors=2048,
+        effort=0.5,  # half-scale population/iterations for a quick demo
+        seed=0,
+    )
+    result = run_flow(accurate, method="Ours", config=config)
+
+    print(f"\nCPD:   {result.cpd_ori:8.2f} ps -> {result.cpd_fac:8.2f} ps "
+          f"(Ratio_cpd = {result.ratio_cpd:.4f})")
+    print(f"area:  {result.area_ori:8.2f}    -> {result.area_fac:8.2f} um^2 "
+          f"(constraint: {result.area_ori:.2f})")
+    print(f"NMED:  {result.error:.5f} (bound {config.error_bound})")
+    print(f"gates: {accurate.num_gates} -> {result.circuit.num_gates} "
+          f"({result.postopt.dangling_removed} dangling removed, "
+          f"{result.postopt.sizing.num_moves} gates upsized)")
+
+    print("\nfinal critical path:")
+    report = result.optimization.best.report
+    from repro import STAEngine, default_library
+    final_report = STAEngine(default_library()).analyze(result.circuit)
+    print(format_path(final_report))
+
+    out = "approx_adder16.v"
+    with open(out, "w") as f:
+        f.write(write_verilog(result.circuit))
+    print(f"\napproximate netlist written to {out}")
+
+if __name__ == "__main__":
+    main()

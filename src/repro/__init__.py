@@ -1,0 +1,58 @@
+"""Timing-driven approximate logic synthesis with a double-chase grey
+wolf optimizer — a full reproduction of Hu et al., DATE 2025.
+
+Public API tour:
+
+* :mod:`repro.netlist` — gate fan-in adjacency circuits, builder, Verilog I/O.
+* :mod:`repro.cells` — the synthetic 28 nm-class standard-cell library.
+* :mod:`repro.sta` — static timing analysis (PrimeTime substitute).
+* :mod:`repro.sim` — bit-parallel Monte-Carlo simulation and error metrics.
+* :mod:`repro.core` — LACs, fitness, Pareto selection, and the DCGWO.
+* :mod:`repro.baselines` — VECBEE-SASIMI, VaACS, HEDALS, single-chase GWO.
+* :mod:`repro.postopt` — dangling-gate deletion + area-constrained resizing.
+* :mod:`repro.bench` — the Table I benchmark suite (generated equivalents).
+* :mod:`repro.flow` — the end-to-end Problem 1 pipeline and method registry.
+"""
+
+from .cells import Library, default_library, make_tsmc28_like
+from .core import DCGWO, DCGWOConfig, DepthMode, EvalContext, evaluate
+from .flow import (
+    METHOD_NAMES,
+    FlowConfig,
+    FlowResult,
+    compare_methods,
+    make_optimizer,
+    run_flow,
+)
+from .netlist import Circuit, CircuitBuilder, parse_verilog, write_verilog
+from .postopt import post_optimize
+from .sim import ErrorMode, random_vectors
+from .sta import STAEngine
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Library",
+    "default_library",
+    "make_tsmc28_like",
+    "DCGWO",
+    "DCGWOConfig",
+    "DepthMode",
+    "EvalContext",
+    "evaluate",
+    "METHOD_NAMES",
+    "FlowConfig",
+    "FlowResult",
+    "compare_methods",
+    "make_optimizer",
+    "run_flow",
+    "Circuit",
+    "CircuitBuilder",
+    "parse_verilog",
+    "write_verilog",
+    "post_optimize",
+    "ErrorMode",
+    "random_vectors",
+    "STAEngine",
+    "__version__",
+]

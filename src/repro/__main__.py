@@ -1,0 +1,147 @@
+"""Command-line interface: run the timing-driven ALS flow on a netlist.
+
+Examples::
+
+    # approximate a structural-Verilog netlist under a 5% error rate
+    python -m repro optimize design.v --mode er --bound 0.05 -o approx.v
+
+    # generate a Table I benchmark and write its netlist
+    python -m repro bench Adder16 -o adder16.v
+
+    # report timing/area of a netlist against the bundled library
+    python -m repro report design.v
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .bench import SUITE, build_benchmark
+from .cells import default_library
+from .flow import METHOD_NAMES, FlowConfig, run_flow
+from .netlist import parse_verilog, write_verilog
+from .sim import ErrorMode
+from .sta import STAEngine, format_path, format_summary
+
+
+def _read_circuit(path: str):
+    with open(path) as f:
+        return parse_verilog(f.read())
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    circuit = _read_circuit(args.netlist)
+    mode = ErrorMode.ER if args.mode == "er" else ErrorMode.NMED
+    config = FlowConfig(
+        error_mode=mode,
+        error_bound=args.bound,
+        num_vectors=args.vectors,
+        effort=args.effort,
+        seed=args.seed,
+        area_con=args.area_con,
+    )
+    result = run_flow(circuit, method=args.method, config=config)
+    print(
+        f"{args.method}: Ratio_cpd={result.ratio_cpd:.4f} "
+        f"({result.cpd_ori:.2f} -> {result.cpd_fac:.2f} ps), "
+        f"{mode.value}={result.error:.5f}, "
+        f"area {result.area_ori:.2f} -> {result.area_fac:.2f} um2, "
+        f"{result.runtime_s:.1f}s"
+    )
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(write_verilog(result.circuit))
+        print(f"approximate netlist written to {args.output}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    circuit = build_benchmark(args.name, args.profile)
+    library = default_library()
+    report = STAEngine(library).analyze(circuit)
+    print(format_summary(report, library))
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(write_verilog(circuit))
+        print(f"netlist written to {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    circuit = _read_circuit(args.netlist)
+    library = default_library()
+    report = STAEngine(library).analyze(circuit)
+    print(format_summary(report, library))
+    print()
+    print(format_path(report))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Timing-driven approximate logic synthesis "
+            "(DCGWO, DATE 2025 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_opt = sub.add_parser(
+        "optimize", help="run the ALS flow on a structural-Verilog netlist"
+    )
+    p_opt.add_argument("netlist", help="input .v file")
+    p_opt.add_argument(
+        "--method", default="Ours", choices=METHOD_NAMES,
+        help="optimizer (default: Ours, the DCGWO)",
+    )
+    p_opt.add_argument(
+        "--mode", default="er", choices=("er", "nmed"),
+        help="error metric (default: er)",
+    )
+    p_opt.add_argument(
+        "--bound", type=float, default=0.05,
+        help="error constraint (default: 0.05)",
+    )
+    p_opt.add_argument(
+        "--area-con", type=float, default=None,
+        help="post-opt area constraint in um2 (default: Area_ori)",
+    )
+    p_opt.add_argument("--vectors", type=int, default=2048)
+    p_opt.add_argument("--effort", type=float, default=1.0)
+    p_opt.add_argument("--seed", type=int, default=0)
+    p_opt.add_argument("-o", "--output", help="write approximate netlist")
+    p_opt.set_defaults(func=_cmd_optimize)
+
+    p_bench = sub.add_parser(
+        "bench", help="generate a Table I benchmark circuit"
+    )
+    p_bench.add_argument("name", choices=sorted(SUITE))
+    p_bench.add_argument(
+        "--profile", default="scaled", choices=("scaled", "paper")
+    )
+    p_bench.add_argument("-o", "--output", help="write netlist")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_rep = sub.add_parser("report", help="STA report for a netlist")
+    p_rep.add_argument("netlist", help="input .v file")
+    p_rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

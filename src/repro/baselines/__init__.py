@@ -1,0 +1,17 @@
+"""Comparison baselines: single-chase GWO, VECBEE-SASIMI, VaACS, HEDALS."""
+
+from .gwo import GWOConfig, SingleChaseGWO
+from .hedals import HedalsConfig, HedalsLike
+from .sasimi import SasimiConfig, VecbeeSasimi
+from .vaacs import VaACS, VaacsConfig
+
+__all__ = [
+    "GWOConfig",
+    "SingleChaseGWO",
+    "HedalsConfig",
+    "HedalsLike",
+    "SasimiConfig",
+    "VecbeeSasimi",
+    "VaACS",
+    "VaacsConfig",
+]

@@ -1,0 +1,158 @@
+"""HEDALS-style baseline: depth-driven greedy approximate synthesis.
+
+Models Meng et al. (TCAD'23): a delay-driven method that repeatedly
+applies the LAC that best shortens the critical path while spending the
+error budget as slowly as possible.  Our substitute for HEDALS' critical
+error graph is direct measurement: per round, candidate targets are the
+gates on the near-critical paths; each candidate's true CPD and error are
+evaluated and the move with the best delay gain per unit error is
+accepted.  Area is never an objective — the depth-driven weakness the
+paper contrasts against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.fitness import CircuitEval, EvalContext, evaluate
+from ..core.lacs import LAC, applied_copy, is_safe
+from ..core.result import IterationStats, OptimizationResult
+from ..netlist import is_const
+from ..sim import best_switch
+from ..sta import critical_paths, path_logic_gates
+
+
+@dataclass
+class HedalsConfig:
+    """Greedy loop knobs."""
+
+    max_changes: int = 60  # accepted LACs before stopping
+    beam: int = 8  # feasible candidates compared per round
+    max_round_evals: int = 32  # similarity-ordered scan depth per round
+    slack_fraction: float = 0.05  # paths within 5% of CPD are critical
+    seed: int = 0
+
+
+class HedalsLike:
+    """Depth-driven greedy optimizer (the paper's HEDALS column)."""
+
+    method_name = "HEDALS"
+
+    def __init__(
+        self,
+        ctx: EvalContext,
+        error_bound: float,
+        config: Optional[HedalsConfig] = None,
+    ):
+        self.ctx = ctx
+        self.error_bound = error_bound
+        self.config = config or HedalsConfig()
+        self._evaluations = 0
+
+    def _evaluate(self, circuit) -> CircuitEval:
+        self._evaluations += 1
+        return evaluate(self.ctx, circuit)
+
+    def _critical_targets(self, ev: CircuitEval) -> List[int]:
+        """Gates on near-critical paths plus their fan-ins, latest first.
+
+        Fan-ins are included because substituting a side input of a path
+        gate also shortens the path — the same enlargement HEDALS gets
+        from operating on the critical error graph rather than a single
+        path cut.
+        """
+        circuit = ev.circuit
+        gates: List[int] = []
+        seen = set()
+
+        def add(gid: int) -> None:
+            if gid not in seen and circuit.is_logic(gid):
+                seen.add(gid)
+                gates.append(gid)
+
+        paths = critical_paths(
+            ev.report, slack_fraction=self.config.slack_fraction
+        )
+        for path in paths:
+            for gid in path_logic_gates(circuit, path):
+                add(gid)
+                for fi in circuit.fanins[gid]:
+                    if not is_const(fi):
+                        add(fi)
+        gates.sort(key=lambda g: -ev.report.arrival[g])
+        return gates
+
+    def optimize(self) -> OptimizationResult:
+        """Run the greedy depth-reduction loop."""
+        cfg = self.config
+        start = time.perf_counter()
+        self._evaluations = 0
+
+        current = self._evaluate(self.ctx.reference.copy())
+        best = current
+        history: List[IterationStats] = []
+        for round_idx in range(1, cfg.max_changes + 1):
+            # Rank every critical-path target by the similarity of its
+            # best switch (HEDALS' critical error graph plays this role:
+            # find the depth-reducing LACs that cost the least error),
+            # then spend the full-evaluation beam on the most promising.
+            scored = []
+            for target in self._critical_targets(current):
+                found = best_switch(
+                    current.circuit,
+                    current.values,
+                    target,
+                    self.ctx.vectors.num_vectors,
+                )
+                if found is None:
+                    continue
+                lac = LAC(target=target, switch=found[0])
+                if is_safe(current.circuit, lac):
+                    scored.append((found[1], lac))
+            scored.sort(key=lambda item: (-item[0], item[1].target))
+            chosen: Optional[CircuitEval] = None
+            chosen_score = 0.0
+            feasible_seen = 0
+            for _sim, lac in scored[: cfg.max_round_evals]:
+                child_ev = self._evaluate(
+                    applied_copy(current.circuit, lac)
+                )
+                if child_ev.error > self.error_bound:
+                    continue
+                gain = current.depth - child_ev.depth
+                if gain <= 0.0:
+                    continue
+                # Delay gain per unit of error spent (floored).
+                err_cost = max(child_ev.error - current.error, 1e-9)
+                score = gain / err_cost
+                if chosen is None or score > chosen_score:
+                    chosen, chosen_score = child_ev, score
+                feasible_seen += 1
+                if feasible_seen >= cfg.beam:
+                    break
+            if chosen is None:
+                break
+            current = chosen
+            if current.fd > best.fd:
+                best = current
+            history.append(
+                IterationStats(
+                    iteration=round_idx,
+                    best_fitness=best.fitness,
+                    best_fd=best.fd,
+                    best_fa=best.fa,
+                    best_error=best.error,
+                    error_constraint=self.error_bound,
+                    evaluations=self._evaluations,
+                )
+            )
+        return OptimizationResult(
+            method=self.method_name,
+            best=best,
+            population=[current],
+            history=history,
+            evaluations=self._evaluations,
+            runtime_s=time.perf_counter() - start,
+        )

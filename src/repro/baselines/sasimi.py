@@ -1,0 +1,129 @@
+"""VECBEE-SASIMI baseline: greedy area-driven approximate synthesis.
+
+Models the comparison method of Su et al. (TCAD'22): SASIMI-style
+signal-by-similar-signal substitution driven by VECBEE-style batch
+Monte-Carlo error estimation.  Each round enumerates candidate LACs over
+the whole circuit, ranks them by *estimated area reduction* (the area of
+the gates the substitution would dangle), and greedily accepts the best
+candidate whose measured error stays within the bound.  Timing is never
+consulted — that is precisely the weakness the paper exploits: area-driven
+methods simplify non-critical logic and leave critical-path depth on the
+table.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.fitness import CircuitEval, EvalContext, evaluate
+from ..core.lacs import LAC, applied_copy, is_safe
+from ..core.result import IterationStats, OptimizationResult
+from ..sim import best_switch
+
+
+@dataclass
+class SasimiConfig:
+    """Greedy loop knobs."""
+
+    max_changes: int = 60  # accepted substitutions before stopping
+    max_candidates: int = 120  # targets sampled per round
+    beam: int = 8  # candidates error-checked per round
+    seed: int = 0
+
+
+class VecbeeSasimi:
+    """Greedy area-driven optimizer (the paper's VECBEE-S column)."""
+
+    method_name = "VECBEE-S"
+
+    def __init__(
+        self,
+        ctx: EvalContext,
+        error_bound: float,
+        config: Optional[SasimiConfig] = None,
+    ):
+        self.ctx = ctx
+        self.error_bound = error_bound
+        self.config = config or SasimiConfig()
+        self._evaluations = 0
+
+    def _evaluate(self, circuit) -> CircuitEval:
+        self._evaluations += 1
+        return evaluate(self.ctx, circuit)
+
+    def _area_saving(self, ev: CircuitEval, lac: LAC) -> float:
+        """Live-area reduction the substitution would cause."""
+        child = applied_copy(ev.circuit, lac)
+        return ev.area - child.area(self.ctx.library)
+
+    def _candidates(
+        self, ev: CircuitEval, rng: random.Random
+    ) -> List[Tuple[float, float, LAC]]:
+        """(area_saving, similarity, lac) triples, best saving first."""
+        logic = ev.circuit.logic_ids()
+        if len(logic) > self.config.max_candidates:
+            logic = rng.sample(logic, self.config.max_candidates)
+        out: List[Tuple[float, float, LAC]] = []
+        for target in logic:
+            found = best_switch(
+                ev.circuit, ev.values, target, self.ctx.vectors.num_vectors
+            )
+            if found is None:
+                continue
+            lac = LAC(target=target, switch=found[0])
+            if not is_safe(ev.circuit, lac):
+                continue
+            out.append((self._area_saving(ev, lac), found[1], lac))
+        out.sort(key=lambda item: (-item[0], -item[1], item[2].target))
+        return out
+
+    def optimize(self) -> OptimizationResult:
+        """Run the greedy loop; returns the best feasible circuit."""
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        start = time.perf_counter()
+        self._evaluations = 0
+
+        current = self._evaluate(self.ctx.reference.copy())
+        best = current
+        history: List[IterationStats] = []
+        for round_idx in range(1, cfg.max_changes + 1):
+            accepted: Optional[CircuitEval] = None
+            for saving, _sim, lac in self._candidates(current, rng)[
+                : cfg.beam
+            ]:
+                if saving <= 0.0:
+                    continue
+                child_ev = self._evaluate(applied_copy(current.circuit, lac))
+                if child_ev.error <= self.error_bound:
+                    accepted = child_ev
+                    break
+            if accepted is None:
+                break
+            current = accepted
+            if current.fa > best.fa or (
+                current.fa == best.fa and current.fitness > best.fitness
+            ):
+                best = current
+            history.append(
+                IterationStats(
+                    iteration=round_idx,
+                    best_fitness=best.fitness,
+                    best_fd=best.fd,
+                    best_fa=best.fa,
+                    best_error=best.error,
+                    error_constraint=self.error_bound,
+                    evaluations=self._evaluations,
+                )
+            )
+        return OptimizationResult(
+            method=self.method_name,
+            best=best,
+            population=[current],
+            history=history,
+            evaluations=self._evaluations,
+            runtime_s=time.perf_counter() - start,
+        )

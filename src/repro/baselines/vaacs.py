@@ -1,0 +1,178 @@
+"""VaACS-style baseline: genetic-algorithm depth-driven synthesis.
+
+Models Balaskas et al. (TCSI'22): approximate circuits evolved with a
+genetic algorithm whose fitness targets delay under an error constraint.
+Tournament selection, PO-cone crossover (the natural crossover for
+netlists sharing a gate ID space), and similarity-guided random-gate
+mutation, with elitism.  Unlike the paper's framework, the GA neither
+partitions its population nor balances depth against area — the fitness
+is purely depth-driven with infeasible individuals heavily penalised.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.fitness import CircuitEval, EvalContext, evaluate
+from ..core.lacs import LAC, applied_copy, is_safe
+from ..core.reproduction import LevelWeights, circuit_reproduce
+from ..core.result import IterationStats, OptimizationResult
+from ..sim import best_switch
+
+
+@dataclass
+class VaacsConfig:
+    """GA knobs (population scale matches the DCGWO defaults)."""
+
+    population_size: int = 30
+    generations: int = 20
+    tournament: int = 2
+    crossover_rate: float = 0.6
+    mutation_rate: float = 0.8
+    elitism: int = 2
+    seed: int = 0
+
+
+class VaACS:
+    """Depth-driven genetic algorithm (the paper's VaACS column)."""
+
+    method_name = "VaACS"
+
+    def __init__(
+        self,
+        ctx: EvalContext,
+        error_bound: float,
+        config: Optional[VaacsConfig] = None,
+    ):
+        self.ctx = ctx
+        self.error_bound = error_bound
+        self.config = config or VaacsConfig()
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, circuit) -> CircuitEval:
+        self._evaluations += 1
+        return evaluate(self.ctx, circuit)
+
+    def _ga_fitness(self, ev: CircuitEval) -> float:
+        """Depth-only fitness; infeasible individuals are crushed."""
+        if ev.error > self.error_bound:
+            return ev.fd * 1e-3
+        return ev.fd
+
+    def _mutate(
+        self, circuit, values, rng: random.Random
+    ) -> Optional[LAC]:
+        logic = circuit.logic_ids()
+        if not logic:
+            return None
+        for _ in range(6):
+            target = logic[rng.randrange(len(logic))]
+            found = best_switch(
+                circuit, values, target, self.ctx.vectors.num_vectors
+            )
+            if found is None:
+                continue
+            lac = LAC(target=target, switch=found[0])
+            if is_safe(circuit, lac):
+                return lac
+        return None
+
+    def _tournament(
+        self, population: List[CircuitEval], rng: random.Random
+    ) -> CircuitEval:
+        picks = [
+            population[rng.randrange(len(population))]
+            for _ in range(self.config.tournament)
+        ]
+        return max(picks, key=self._ga_fitness)
+
+    # ------------------------------------------------------------------
+    def optimize(self) -> OptimizationResult:
+        """Run the GA and return the best feasible individual found."""
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        start = time.perf_counter()
+        self._evaluations = 0
+        weights = LevelWeights.paper_defaults(self.ctx)
+
+        reference = self.ctx.reference
+        population: List[CircuitEval] = []
+        for _ in range(cfg.population_size):
+            lac = self._mutate(reference, self.ctx.reference_values, rng)
+            child = (
+                applied_copy(reference, lac)
+                if lac is not None
+                else reference.copy()
+            )
+            population.append(self._evaluate(child))
+
+        best: Optional[CircuitEval] = None
+
+        def consider(ev: CircuitEval) -> None:
+            nonlocal best
+            if ev.error > self.error_bound:
+                return
+            if best is None or ev.fd > best.fd:
+                best = ev
+
+        for ev in population:
+            consider(ev)
+
+        history: List[IterationStats] = []
+        for gen in range(1, cfg.generations + 1):
+            ranked = sorted(population, key=self._ga_fitness, reverse=True)
+            next_pop: List[CircuitEval] = ranked[: cfg.elitism]
+            while len(next_pop) < cfg.population_size:
+                parent_a = self._tournament(population, rng)
+                if rng.random() < cfg.crossover_rate:
+                    parent_b = self._tournament(population, rng)
+                    child = circuit_reproduce(
+                        parent_a, parent_b, self.ctx, weights
+                    )
+                else:
+                    child = parent_a.circuit.copy()
+                if rng.random() < cfg.mutation_rate:
+                    values = self._evaluate_values_cache(child, parent_a)
+                    lac = self._mutate(child, values, rng)
+                    if lac is not None:
+                        child = applied_copy(child, lac)
+                ev = self._evaluate(child)
+                consider(ev)
+                next_pop.append(ev)
+            population = next_pop
+            top = max(population, key=self._ga_fitness)
+            history.append(
+                IterationStats(
+                    iteration=gen,
+                    best_fitness=top.fitness,
+                    best_fd=top.fd,
+                    best_fa=top.fa,
+                    best_error=top.error,
+                    error_constraint=self.error_bound,
+                    evaluations=self._evaluations,
+                )
+            )
+
+        if best is None:
+            best = self._evaluate(reference.copy())
+        return OptimizationResult(
+            method=self.method_name,
+            best=best,
+            population=population,
+            history=history,
+            evaluations=self._evaluations,
+            runtime_s=time.perf_counter() - start,
+        )
+
+    def _evaluate_values_cache(self, child, parent_ev: CircuitEval):
+        """Similarity queries for mutation reuse the parent's values.
+
+        The child differs from the parent only by crossover; re-simulating
+        just to seed the similarity oracle would double the GA's cost, and
+        the parent's signal statistics are a close proxy.
+        """
+        return parent_ev.values

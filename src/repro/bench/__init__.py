@@ -1,0 +1,70 @@
+"""Benchmark circuit generators (ISCAS'85 / EPFL functional equivalents)."""
+
+from .adders import (
+    adder16,
+    adder128,
+    kogge_stone_adder_circuit,
+    ripple_adder_circuit,
+)
+from .alu import alu_circuit, c880, c2670, c3540, c5315
+from .comparator import adder_comparator_circuit, c7552
+from .control import add_random_control_logic, cavlc, random_control_circuit
+from .hamming import c1908, hamming_secded_circuit
+from .int2float import int2float_circuit, int2float_reference
+from .maxunit import max16, max128, max_2to1_circuit, max_4to1_circuit
+from .multiplier import array_multiplier_circuit, c6288
+from .sine import cordic_reference, cordic_sine_circuit, sin12, sin24
+from .sqrt import sqrt32, sqrt128, sqrt_circuit, sqrt_reference
+from .suite import (
+    ARITHMETIC_NAMES,
+    RANDOM_CONTROL_NAMES,
+    SUITE,
+    BenchmarkSpec,
+    CircuitClass,
+    PaperStats,
+    active_profile,
+    build_benchmark,
+)
+
+__all__ = [
+    "adder16",
+    "kogge_stone_adder_circuit",
+    "adder128",
+    "ripple_adder_circuit",
+    "alu_circuit",
+    "c880",
+    "c2670",
+    "c3540",
+    "c5315",
+    "adder_comparator_circuit",
+    "c7552",
+    "add_random_control_logic",
+    "cavlc",
+    "random_control_circuit",
+    "c1908",
+    "hamming_secded_circuit",
+    "int2float_circuit",
+    "int2float_reference",
+    "max16",
+    "max128",
+    "max_2to1_circuit",
+    "max_4to1_circuit",
+    "array_multiplier_circuit",
+    "c6288",
+    "cordic_reference",
+    "cordic_sine_circuit",
+    "sin12",
+    "sin24",
+    "sqrt32",
+    "sqrt128",
+    "sqrt_circuit",
+    "sqrt_reference",
+    "ARITHMETIC_NAMES",
+    "RANDOM_CONTROL_NAMES",
+    "SUITE",
+    "BenchmarkSpec",
+    "CircuitClass",
+    "PaperStats",
+    "active_profile",
+    "build_benchmark",
+]

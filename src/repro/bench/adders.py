@@ -1,0 +1,113 @@
+"""Adder benchmark generators (Adder16, the EPFL 128-bit Adder).
+
+Full adders are decomposed into two-input mapped gates (two XOR2, two
+AND2, one OR2 per bit), the structure Design Compiler typically emits for
+a ripple carry chain, so critical paths run through a long carry chain —
+the interesting case for timing-driven ALS.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..netlist import CONST0, Circuit, CircuitBuilder
+
+
+def mapped_full_adder(
+    b: CircuitBuilder, a: int, bb: int, cin: int
+) -> Tuple[int, int]:
+    """Full adder from 2-input gates; returns ``(sum, cout)``."""
+    p = b.xor2(a, bb)
+    s = b.xor2(p, cin)
+    g = b.and2(a, bb)
+    t = b.and2(p, cin)
+    cout = b.or2(g, t)
+    return s, cout
+
+
+def mapped_half_adder(b: CircuitBuilder, a: int, bb: int) -> Tuple[int, int]:
+    """Half adder; returns ``(sum, cout)``."""
+    return b.xor2(a, bb), b.and2(a, bb)
+
+
+def ripple_carry_words(
+    b: CircuitBuilder,
+    a: List[int],
+    bb: List[int],
+    cin: int = CONST0,
+) -> Tuple[List[int], int]:
+    """Mapped ripple-carry addition of two LSB-first words."""
+    if len(a) != len(bb):
+        raise ValueError("operand widths differ")
+    sums: List[int] = []
+    carry = cin
+    for ai, bi in zip(a, bb):
+        if carry == CONST0:
+            s, carry = mapped_half_adder(b, ai, bi)
+        else:
+            s, carry = mapped_full_adder(b, ai, bi, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def ripple_adder_circuit(width: int, name: str = None) -> Circuit:
+    """``width``-bit ripple-carry adder with carry-out.
+
+    PIs: ``a0..`` then ``b0..`` (LSB first).  POs: ``s0..s<width>`` where
+    the last PO is the carry-out, matching the #PI/#PO shape of the
+    paper's Adder16 (32 in / 17 out) and EPFL Adder (256 in / 129 out).
+    """
+    b = CircuitBuilder(name or f"adder{width}")
+    a = b.pis(width, "a")
+    bb = b.pis(width, "b")
+    sums, cout = ripple_carry_words(b, a, bb)
+    b.pos(sums + [cout], "s")
+    return b.done()
+
+
+def kogge_stone_adder_circuit(width: int, name: str = None) -> Circuit:
+    """``width``-bit parallel-prefix (Kogge-Stone) adder with carry-out.
+
+    This is the structure a timing-driven synthesis run produces for
+    small adders: log-depth carry computation from per-bit propagate and
+    generate signals.  The paper's Adder16 CPD (58.92 ps, ~3.7 ps/bit)
+    is only reachable with such a prefix tree, so the suite uses this
+    generator for Adder16 while the 128-bit EPFL Adder (10.9 ps/bit in
+    Table I) stays a ripple chain.
+    """
+    b = CircuitBuilder(name or f"ksadder{width}")
+    a = b.pis(width, "a")
+    bb = b.pis(width, "b")
+    p = [b.xor2(x, y) for x, y in zip(a, bb)]  # propagate
+    g = [b.and2(x, y) for x, y in zip(a, bb)]  # generate
+    # Prefix combine: after the last level, g[i] is the carry out of
+    # bit i (i.e. the carry into bit i+1).
+    gp = list(zip(g, p))
+    dist = 1
+    while dist < width:
+        nxt = list(gp)
+        for i in range(dist, width):
+            g_hi, p_hi = gp[i]
+            g_lo, p_lo = gp[i - dist]
+            nxt[i] = (
+                b.or2(g_hi, b.and2(p_hi, g_lo)),
+                b.and2(p_hi, p_lo),
+            )
+        gp = nxt
+        dist *= 2
+    carries = [gi for gi, _ in gp]
+    sums = [p[0]] + [
+        b.xor2(p[i], carries[i - 1]) for i in range(1, width)
+    ]
+    b.pos(sums + [carries[-1]], "s")
+    return b.done()
+
+
+def adder16() -> Circuit:
+    """The paper's Adder16 benchmark (16-bit adder, 32 PI / 17 PO)."""
+    return kogge_stone_adder_circuit(16, "Adder16")
+
+
+def adder128() -> Circuit:
+    """The paper's Adder benchmark (EPFL 128-bit adder, 256 PI / 129 PO)."""
+    return ripple_adder_circuit(128, "Adder")

@@ -1,0 +1,40 @@
+"""Adder/comparator benchmark (c7552 equivalent).
+
+c7552 is a 32-bit adder/comparator with parity checking.  We build the
+same function mix: a 32-bit mapped ripple adder, magnitude comparison
+(greater/equal/less), and parity over the sum — wide arithmetic plus
+comparison trees sharing inputs.
+"""
+
+from __future__ import annotations
+
+from ..netlist import Circuit, CircuitBuilder
+from .adders import ripple_carry_words
+
+
+def adder_comparator_circuit(width: int, name: str = None) -> Circuit:
+    """``width``-bit adder/comparator with sum, flags, and parity POs."""
+    b = CircuitBuilder(name or f"addcmp{width}")
+    a = b.pis(width, "a")
+    bb = b.pis(width, "b")
+    cin = b.pi("cin")
+
+    sums, cout = ripple_carry_words(b, a, bb, cin=cin)
+    b.pos(sums, "sum")
+    b.po(cout, "cout")
+
+    gt = b.greater_than(a, bb)
+    eq = b.equal(a, bb)
+    lt = b.nor2(gt, eq)
+    b.po(gt, "agtb")
+    b.po(eq, "aeqb")
+    b.po(lt, "altb")
+
+    parity = b.reduce_tree("XOR2", sums)
+    b.po(parity, "parity")
+    return b.done()
+
+
+def c7552() -> Circuit:
+    """The paper's c7552 benchmark equivalent (32-bit adder/comparator)."""
+    return adder_comparator_circuit(32, "c7552")

@@ -1,0 +1,92 @@
+"""Seeded random control-logic generators (Cavlc equivalent, controllers).
+
+Cavlc is a coding/quantisation control block from the EPFL suite; its
+logic is an irregular multi-level network.  We emulate that class of
+circuit with a seeded random DAG: fan-ins are drawn with a recency bias
+so the network develops realistic logic depth instead of collapsing into
+a two-level soup.  Generation is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..netlist import Circuit, CircuitBuilder
+
+#: Functions the generator draws from, weighted toward the cheap gates a
+#: synthesiser prefers.
+_GATE_POOL = (
+    "NAND2", "NAND2", "NOR2", "NOR2", "AND2", "OR2",
+    "INV", "XOR2", "XNOR2", "AOI21", "OAI21", "MUX2", "NAND3", "NOR3",
+)
+
+
+def add_random_control_logic(
+    b: CircuitBuilder,
+    num_pis: int,
+    num_pos: int,
+    num_gates: int,
+    seed: int,
+    prefix: str = "c",
+    sources: Optional[List[int]] = None,
+) -> List[int]:
+    """Append a random control network to an existing builder.
+
+    Args:
+        sources: extra existing signals the block may read (used to tie a
+            controller to datapath signals); fresh PIs are always added.
+
+    Returns the PO driver signals chosen.
+    """
+    from ..cells import FUNCTIONS
+
+    rng = random.Random(seed)
+    pool: List[int] = list(sources or [])
+    pool.extend(b.pi(f"{prefix}_in{i}") for i in range(num_pis))
+    if not pool:
+        raise ValueError("control block needs at least one source signal")
+
+    created: List[int] = []
+    for _ in range(num_gates):
+        fn_name = rng.choice(_GATE_POOL)
+        arity = FUNCTIONS[fn_name].arity
+        fanins = []
+        for _ in range(arity):
+            # Recency bias: with p=0.6 draw from the newest quarter of the
+            # pool, which stacks levels and produces real logic depth.
+            if created and rng.random() < 0.6:
+                lo = max(0, len(pool) - max(4, len(pool) // 4))
+                fanins.append(pool[rng.randrange(lo, len(pool))])
+            else:
+                fanins.append(pool[rng.randrange(len(pool))])
+        gid = b.gate(fn_name, *fanins)
+        pool.append(gid)
+        created.append(gid)
+
+    if num_pos > len(created):
+        raise ValueError("more POs requested than gates created")
+    # Expose the newest gates as outputs (deepest logic), de-duplicated.
+    drivers: List[int] = []
+    for gid in reversed(created):
+        if gid not in drivers:
+            drivers.append(gid)
+        if len(drivers) == num_pos:
+            break
+    for i, gid in enumerate(drivers):
+        b.po(gid, f"{prefix}_out{i}")
+    return drivers
+
+
+def random_control_circuit(
+    name: str, num_pis: int, num_pos: int, num_gates: int, seed: int
+) -> Circuit:
+    """A standalone random control circuit."""
+    b = CircuitBuilder(name)
+    add_random_control_logic(b, num_pis, num_pos, num_gates, seed)
+    return b.done()
+
+
+def cavlc() -> Circuit:
+    """Cavlc equivalent: 10 PI / 11 PO coding-control block, ~570 gates."""
+    return random_control_circuit("Cavlc", 10, 11, 573, seed=0xCA71C)

@@ -1,0 +1,72 @@
+"""SEC/DED error-correction benchmark (c1908 equivalent).
+
+c1908 is a 16-bit single-error-correcting / double-error-detecting
+circuit.  We build a (22,16) extended Hamming decoder: 5 syndrome bits
+over positions 1..21, one overall parity bit, a one-hot position decoder,
+correction XORs on the data bits, and single/double error flags — the
+same function class with comparable structure (wide XOR trees feeding
+AND-decode logic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..netlist import Circuit, CircuitBuilder
+
+_NUM_SYNDROME = 5
+_CODE_POSITIONS = list(range(1, 22))  # positions 1..21 of the Hamming code
+_DATA_POSITIONS = [p for p in _CODE_POSITIONS if p & (p - 1) != 0]
+
+
+def hamming_secded_circuit(name: str = "c1908") -> Circuit:
+    """(22,16) extended-Hamming SEC/DED decoder.
+
+    PIs: ``cw0`` (overall parity) and ``cw1..cw21`` (Hamming positions).
+    POs: 16 corrected data bits, ``single_err``, ``double_err``, and the
+    5 syndrome bits — 23 outputs.
+    """
+    b = CircuitBuilder(name)
+    codeword: Dict[int, int] = {0: b.pi("cw0")}
+    for p in _CODE_POSITIONS:
+        codeword[p] = b.pi(f"cw{p}")
+
+    # Syndrome bit j: XOR of all positions with bit j set (check included).
+    syndrome: List[int] = []
+    for j in range(_NUM_SYNDROME):
+        members = [codeword[p] for p in _CODE_POSITIONS if p & (1 << j)]
+        syndrome.append(b.reduce_tree("XOR2", members))
+
+    # Overall parity across every received bit (position 0 included).
+    parity_err = b.reduce_tree(
+        "XOR2", [codeword[0]] + [codeword[p] for p in _CODE_POSITIONS]
+    )
+
+    syndrome_n = [b.inv(s) for s in syndrome]
+    syndrome_nonzero = b.reduce_tree("OR2", syndrome)
+
+    # Correct each data position: flip when the syndrome decodes to it
+    # and the overall parity confirms a single (odd) error.
+    corrected: List[int] = []
+    for p in _DATA_POSITIONS:
+        terms = [
+            syndrome[j] if p & (1 << j) else syndrome_n[j]
+            for j in range(_NUM_SYNDROME)
+        ]
+        match = b.reduce_tree("AND2", terms)
+        flip = b.and2(match, parity_err)
+        corrected.append(b.xor2(codeword[p], flip))
+    b.pos(corrected, "d")
+
+    single_err = b.and2(parity_err, syndrome_nonzero)
+    double_err = b.and2(b.inv(parity_err), syndrome_nonzero)
+    b.po(single_err, "single_err")
+    b.po(double_err, "double_err")
+    for j, s in enumerate(syndrome):
+        b.po(s, f"synd{j}")
+    return b.done()
+
+
+def c1908() -> Circuit:
+    """The paper's c1908 benchmark equivalent."""
+    return hamming_secded_circuit("c1908")

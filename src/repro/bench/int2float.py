@@ -1,0 +1,82 @@
+"""Integer-to-float converter benchmark (EPFL Int2float equivalent).
+
+EPFL's ``int2float`` converts an 11-bit integer to a tiny custom float
+with a 4-bit exponent and 3-bit mantissa (11 PI / 7 PO).  We implement
+that spec directly: a leading-one detector (prefix-OR + one-hot), an
+exponent encoder, and a one-hot mux that extracts the three bits after
+the leading one.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netlist import CONST0, Circuit, CircuitBuilder
+
+
+def int2float_circuit(width: int = 11, name: str = "Int2float") -> Circuit:
+    """Convert a ``width``-bit unsigned int to exponent(4) + mantissa(3).
+
+    For input ``x`` with leading one at position ``e``:
+    ``exponent = e`` and ``mantissa = bits e-1..e-3`` (zero-padded below
+    bit 0).  ``x == 0`` maps to exponent 0, mantissa 0.
+    """
+    if width < 4 or width > 15:
+        raise ValueError("width must be in 4..15 for a 4-bit exponent")
+    b = CircuitBuilder(name)
+    x = b.pis(width, "x")
+
+    # Suffix ORs from the MSB, seen[i] = OR(x[width-1..i]), built with
+    # log-depth doubling (the paper's 127 ps CPD needs a balanced LOD).
+    seen: List[int] = list(x)
+    dist = 1
+    while dist < width:
+        seen = [
+            b.or2(seen[i], seen[i + dist]) if i + dist < width else seen[i]
+            for i in range(width)
+        ]
+        dist *= 2
+
+    # One-hot leading-one: hot[i] = x[i] AND NOT seen[i+1].
+    hot: List[int] = [0] * width
+    hot[width - 1] = x[width - 1]
+    for i in range(width - 1):
+        hot[i] = b.and2(x[i], b.inv(seen[i + 1]))
+
+    # Exponent bit j = OR of hot[i] for every i with bit j set.
+    exponent: List[int] = []
+    for j in range(4):
+        members = [hot[i] for i in range(width) if i & (1 << j)]
+        if members:
+            exponent.append(b.reduce_tree("OR2", members))
+        else:
+            exponent.append(CONST0)
+
+    # Mantissa bit k (k=2 is just below the leading one):
+    # m[k] = OR_i (hot[i] AND x[i-3+k]) over positions where the source
+    # bit exists; below bit 0 the float is zero-padded.
+    mantissa: List[int] = []
+    for k in range(3):
+        terms = []
+        for i in range(width):
+            src = i - 3 + k
+            if src >= 0:
+                terms.append(b.and2(hot[i], x[src]))
+        mantissa.append(b.reduce_tree("OR2", terms) if terms else CONST0)
+
+    b.pos(mantissa, "m")
+    b.pos(exponent, "e")
+    return b.done()
+
+
+def int2float_reference(x: int, width: int = 11) -> int:
+    """Oracle: returns the 7-bit output word (mantissa in bits 0..2)."""
+    if x == 0:
+        return 0
+    e = x.bit_length() - 1
+    m = 0
+    for k in range(3):
+        src = e - 3 + k
+        if src >= 0 and (x >> src) & 1:
+            m |= 1 << k
+    return (e << 3) | m

@@ -1,0 +1,160 @@
+"""CORDIC sine benchmark (EPFL Sin equivalent).
+
+EPFL's ``sin`` is a 24-bit sine unit (~11 k gates).  We build the same
+function as an unrolled CORDIC rotator in rotation mode: per iteration a
+sign-controlled add/sub triple on x, y, z with hard-wired arithmetic
+shifts and constant micro-rotation angles.  The integer model in
+:func:`cordic_reference` is bit-exact with the netlist, which makes exact
+functional verification possible.
+
+Fixed-point convention: the input ``theta`` (``angle_width`` bits) spans
+[0, pi/2); x/y/z use ``angle_width + 2`` bits of two's complement with the
+same fractional scale ``2**angle_width`` (x, y) and angle scale
+``theta / 2**angle_width * (pi/2)`` (z).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..netlist import CONST0, CONST1, Circuit, CircuitBuilder
+from .adders import mapped_full_adder
+
+
+def _angle_constants(angle_width: int, iterations: int) -> List[int]:
+    """Micro-rotation angles atan(2^-i), quantised to the z scale."""
+    scale = (1 << angle_width) / (math.pi / 2)
+    return [
+        int(round(math.atan(2.0**-i) * scale)) for i in range(iterations)
+    ]
+
+
+def _cordic_gain(iterations: int) -> float:
+    g = 1.0
+    for i in range(iterations):
+        g *= math.sqrt(1.0 + 2.0 ** (-2 * i))
+    return g
+
+
+def _const_word(b: CircuitBuilder, value: int, width: int) -> List[int]:
+    """Two's-complement constant as CONST0/CONST1 fan-in IDs, LSB first."""
+    value &= (1 << width) - 1
+    return [CONST1 if (value >> i) & 1 else CONST0 for i in range(width)]
+
+
+def _addsub(
+    b: CircuitBuilder, a: List[int], bb: List[int], sub: int
+) -> List[int]:
+    """``a + b`` when ``sub``=0, ``a - b`` when ``sub``=1 (mod 2^W).
+
+    Classic conditional adder: each ``b`` bit is XORed with the control
+    and the control doubles as carry-in.
+    """
+    if len(a) != len(bb):
+        raise ValueError("operand widths differ")
+    out: List[int] = []
+    carry = sub
+    for ai, bi in zip(a, bb):
+        beff = b.xor2(bi, sub)
+        s, carry = mapped_full_adder(b, ai, beff, carry)
+        out.append(s)
+    return out
+
+
+def _asr(word: List[int], shift: int) -> List[int]:
+    """Arithmetic shift right by re-wiring (no gates)."""
+    width = len(word)
+    sign = word[-1]
+    return [word[j + shift] if j + shift < width else sign
+            for j in range(width)]
+
+
+def cordic_sine_circuit(
+    angle_width: int = 24,
+    iterations: int = 20,
+    name: str = None,
+) -> Circuit:
+    """Unrolled CORDIC sine of a ``angle_width``-bit angle in [0, pi/2).
+
+    POs are the low ``angle_width + 1`` bits of y (sin is in [0, 1] so
+    the sign bit is dropped), matching the EPFL sin's 24-in/25-out shape.
+    """
+    if angle_width < 4:
+        raise ValueError("angle width must be at least 4")
+    width = angle_width + 2
+    b = CircuitBuilder(name or f"sin{angle_width}")
+    theta = b.pis(angle_width, "t")
+
+    k = 1.0 / _cordic_gain(iterations)
+    x0 = int(round(k * (1 << angle_width)))
+    x = _const_word(b, x0, width)
+    y = _const_word(b, 0, width)
+    z = theta + [CONST0, CONST0]  # zero-extend: theta >= 0
+
+    alphas = _angle_constants(angle_width, iterations)
+    for i in range(iterations):
+        # z's sign bit may be a constant in iteration 0 (z = theta >= 0).
+        if z[-1] == CONST0:
+            d_pos = CONST1
+        elif z[-1] == CONST1:
+            d_pos = CONST0
+        else:
+            d_pos = b.inv(z[-1])
+        x_next = _addsub(b, x, _asr(y, i), sub=d_pos)
+        y_next = _addsub(b, y, _asr(x, i), sub=_invert_flag(b, d_pos))
+        z_next = _addsub(b, z, _const_word(b, alphas[i], width), sub=d_pos)
+        x, y, z = x_next, y_next, z_next
+
+    b.pos(y[: angle_width + 1], "s")
+    return b.done()
+
+
+def _invert_flag(b: CircuitBuilder, flag: int) -> int:
+    if flag == CONST0:
+        return CONST1
+    if flag == CONST1:
+        return CONST0
+    return b.inv(flag)
+
+
+def cordic_reference(
+    theta: int, angle_width: int = 24, iterations: int = 20
+) -> int:
+    """Bit-exact integer model of :func:`cordic_sine_circuit`.
+
+    Returns the unsigned value of the PO word (low ``angle_width + 1``
+    bits of y after the final iteration).
+    """
+    width = angle_width + 2
+    mask = (1 << width) - 1
+    sign_bit = 1 << (width - 1)
+
+    def to_signed(v: int) -> int:
+        """Interpret a W-bit word as two's complement."""
+        return v - (1 << width) if v & sign_bit else v
+
+    k = 1.0 / _cordic_gain(iterations)
+    x = int(round(k * (1 << angle_width)))
+    y = 0
+    z = theta
+    alphas = _angle_constants(angle_width, iterations)
+    for i in range(iterations):
+        d_pos = 0 if (z & sign_bit) else 1
+        ys = to_signed(y) >> i
+        xs = to_signed(x) >> i
+        if d_pos:
+            x, y, z = (x - ys) & mask, (y + xs) & mask, (z - alphas[i]) & mask
+        else:
+            x, y, z = (x + ys) & mask, (y - xs) & mask, (z + alphas[i]) & mask
+    return y & ((1 << (angle_width + 1)) - 1)
+
+
+def sin24() -> Circuit:
+    """The paper's Sin benchmark (24-bit CORDIC sine)."""
+    return cordic_sine_circuit(24, 20, "Sin")
+
+
+def sin12() -> Circuit:
+    """Laptop-scale stand-in used by the scaled benchmark profile."""
+    return cordic_sine_circuit(12, 10, "Sin")

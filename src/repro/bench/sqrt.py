@@ -1,0 +1,78 @@
+"""Combinational square-root benchmark (EPFL Sqrt equivalent).
+
+EPFL's ``sqrt`` computes the 64-bit integer square root of a 128-bit
+input.  We unroll the classic restoring algorithm: one compare-subtract
+stage per result bit, with remainder widths trimmed to their provable
+bounds so the netlist does not balloon with dead bits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..netlist import CONST0, CONST1, Circuit, CircuitBuilder
+from .adders import ripple_carry_words
+
+
+def _subtract(
+    b: CircuitBuilder, a: List[int], bb: List[int]
+) -> Tuple[List[int], int]:
+    """Mapped ``a - b``; returns ``(difference, no_borrow)``.
+
+    ``no_borrow`` is 1 exactly when ``a >= b`` (unsigned).
+    """
+    nb = [b.inv(x) for x in bb]
+    return ripple_carry_words(b, a, nb, cin=CONST1)
+
+
+def sqrt_circuit(input_width: int, name: str = None) -> Circuit:
+    """Integer square root of an ``input_width``-bit number (width even).
+
+    PIs ``x0..`` LSB first; POs are the ``input_width/2`` root bits.
+    Restoring recurrence per stage ``s`` (MSB pair first)::
+
+        rem   = rem * 4 + next_pair        (bounded by s+3 bits)
+        trial = root * 4 + 1
+        if rem >= trial: rem -= trial; root = root*2 + 1
+        else:            root = root*2
+    """
+    if input_width % 2 or input_width < 2:
+        raise ValueError("input width must be even and positive")
+    k = input_width // 2
+    b = CircuitBuilder(name or f"sqrt{input_width}")
+    x = b.pis(input_width, "x")
+
+    rem_bits: List[int] = []
+    root_bits: List[int] = []  # LSB-first root accumulated so far
+    for s in range(k):
+        i = k - 1 - s
+        # Shift in the next bit pair (LSB-first list: new bits in front).
+        rem_bits = [x[2 * i], x[2 * i + 1]] + rem_bits
+        rem_bits = rem_bits[: s + 3]  # rem < 2^(s+3) - provable bound
+        trial = [CONST1, CONST0] + root_bits
+        trial = (trial + [CONST0] * len(rem_bits))[: len(rem_bits)]
+        diff, no_borrow = _subtract(b, rem_bits, trial)
+        rem_bits = [
+            b.mux2(r, d, no_borrow) for r, d in zip(rem_bits, diff)
+        ]
+        rem_bits = rem_bits[: s + 2]  # rem <= 2*root fits in s+2 bits
+        root_bits = [no_borrow] + root_bits
+
+    b.pos(root_bits, "r")
+    return b.done()
+
+
+def sqrt_reference(x: int) -> int:
+    """Oracle for :func:`sqrt_circuit`."""
+    return math.isqrt(x)
+
+
+def sqrt128() -> Circuit:
+    """The paper's Sqrt benchmark (128-bit input, 64-bit root)."""
+    return sqrt_circuit(128, "Sqrt")
+
+
+def sqrt32() -> Circuit:
+    """Laptop-scale stand-in used by the scaled benchmark profile."""
+    return sqrt_circuit(32, "Sqrt")

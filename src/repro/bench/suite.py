@@ -1,0 +1,165 @@
+"""Benchmark suite registry matching the paper's Table I.
+
+Every entry records the paper's published statistics (gate count, PI/PO,
+CPD under TSMC 28 nm, area) next to a generator for our functional
+equivalent.  ``profile="scaled"`` swaps the four giant arithmetic blocks
+for reduced-width versions so the full DCGWO flow runs in CI time;
+``profile="paper"`` builds the published widths.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..netlist import Circuit
+from .adders import adder16, adder128, ripple_adder_circuit
+from .alu import c880, c2670, c3540, c5315
+from .comparator import c7552
+from .control import cavlc
+from .hamming import c1908
+from .int2float import int2float_circuit
+from .maxunit import max16, max128, max_4to1_circuit
+from .multiplier import c6288
+from .sine import sin12, sin24
+from .sqrt import sqrt32, sqrt128
+
+
+class CircuitClass(enum.Enum):
+    """Table I's Type column: which error metric constrains the circuit."""
+
+    RANDOM_CONTROL = "random/control"
+    ARITHMETIC = "arithmetic"
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """The row Table I publishes for one benchmark."""
+
+    num_gates: int
+    num_pi: int
+    num_po: int
+    cpd_ps: float
+    area_um2: float
+    description: str
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One suite entry: paper stats plus our generators."""
+
+    name: str
+    circuit_class: CircuitClass
+    paper: PaperStats
+    build_paper: Callable[[], Circuit]
+    build_scaled: Callable[[], Circuit]
+
+    def build(self, profile: str = "scaled") -> Circuit:
+        """Build this benchmark at the requested profile."""
+        if profile == "paper":
+            return self.build_paper()
+        if profile == "scaled":
+            return self.build_scaled()
+        raise ValueError(f"unknown profile {profile!r}")
+
+
+def _spec(name, klass, stats, build_paper, build_scaled=None) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        circuit_class=klass,
+        paper=stats,
+        build_paper=build_paper,
+        build_scaled=build_scaled or build_paper,
+    )
+
+
+_RC = CircuitClass.RANDOM_CONTROL
+_AR = CircuitClass.ARITHMETIC
+
+#: The fifteen Table I benchmarks, in the paper's order.
+SUITE: Dict[str, BenchmarkSpec] = {
+    s.name: s
+    for s in [
+        _spec("Cavlc", _RC,
+              PaperStats(573, 10, 11, 186.35, 450.31, "coding Cavlc"),
+              cavlc),
+        _spec("c880", _RC,
+              PaperStats(322, 60, 26, 185.34, 177.67, "8-bit ALU"),
+              c880),
+        _spec("c1908", _RC,
+              PaperStats(366, 33, 25, 235.14, 223.34,
+                         "16-bit SEC/DED circuit"),
+              c1908),
+        _spec("c2670", _RC,
+              PaperStats(922, 233, 140, 218.40, 288.71,
+                         "12-bit ALU and controller"),
+              c2670),
+        _spec("c3540", _RC,
+              PaperStats(667, 50, 22, 293.09, 459.42, "8-bit ALU"),
+              c3540),
+        _spec("c5315", _RC,
+              PaperStats(2595, 178, 123, 122.25, 1129.55, "9-bit ALU"),
+              c5315),
+        _spec("c7552", _RC,
+              PaperStats(1576, 207, 108, 282.13, 939.33,
+                         "32-bit adder/comparator"),
+              c7552),
+        _spec("Int2float", _AR,
+              PaperStats(198, 11, 7, 127.02, 194.63,
+                         "int to float converter"),
+              int2float_circuit),
+        _spec("Adder16", _AR,
+              PaperStats(269, 32, 17, 58.92, 288.41, "16-bit adder"),
+              adder16),
+        _spec("Max16", _AR,
+              PaperStats(154, 32, 16, 131.78, 91.43, "16-bit 2-1 max unit"),
+              max16),
+        _spec("c6288", _AR,
+              PaperStats(1641, 32, 32, 847.79, 687.08, "16x16 multiplier"),
+              c6288),
+        _spec("Adder", _AR,
+              PaperStats(1639, 256, 129, 1394.7, 495.78, "128-bit adder"),
+              adder128,
+              build_scaled=lambda: ripple_adder_circuit(64, "Adder")),
+        _spec("Max", _AR,
+              PaperStats(2940, 512, 120, 2799.8, 954.03,
+                         "128-bit 4-1 max unit"),
+              max128,
+              build_scaled=lambda: max_4to1_circuit(32, "Max")),
+        _spec("Sin", _AR,
+              PaperStats(10962, 24, 25, 701.03, 4367.27, "24-bit sine unit"),
+              sin24, build_scaled=sin12),
+        _spec("Sqrt", _AR,
+              PaperStats(13542, 128, 64, 67929.3, 6262.10,
+                         "128-bit square root unit"),
+              sqrt128, build_scaled=sqrt32),
+    ]
+}
+
+#: Table II's benchmark set (optimised under ER constraints).
+RANDOM_CONTROL_NAMES: List[str] = [
+    n for n, s in SUITE.items() if s.circuit_class is _RC
+]
+
+#: Table III's benchmark set (optimised under NMED constraints).
+ARITHMETIC_NAMES: List[str] = [
+    n for n, s in SUITE.items() if s.circuit_class is _AR
+]
+
+
+def active_profile(default: str = "scaled") -> str:
+    """Benchmark profile selected by the ``REPRO_PROFILE`` env var."""
+    return os.environ.get("REPRO_PROFILE", default)
+
+
+def build_benchmark(name: str, profile: Optional[str] = None) -> Circuit:
+    """Build one Table I benchmark by name."""
+    try:
+        spec = SUITE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {sorted(SUITE)}"
+        ) from None
+    return spec.build(profile or active_profile())

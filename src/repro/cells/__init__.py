@@ -1,0 +1,47 @@
+"""Synthetic standard-cell library substrate (replaces TSMC 28 nm)."""
+
+from .cell import (
+    FUNCTIONS,
+    Cell,
+    CellFunction,
+    cell_name,
+    split_cell_name,
+)
+from .liberty import LibertyParseError, parse_liberty, write_liberty
+from .library import (
+    DRIVE_CODES,
+    DRIVE_FACTOR,
+    Library,
+    default_library,
+    make_tsmc28_like,
+)
+from .timing_model import (
+    DEFAULT_LOAD_AXIS,
+    DEFAULT_SLEW_AXIS,
+    LinearTimingSpec,
+    NLDMTable,
+    TimingArc,
+    characterize,
+)
+
+__all__ = [
+    "LibertyParseError",
+    "parse_liberty",
+    "write_liberty",
+    "FUNCTIONS",
+    "Cell",
+    "CellFunction",
+    "cell_name",
+    "split_cell_name",
+    "DRIVE_CODES",
+    "DRIVE_FACTOR",
+    "Library",
+    "default_library",
+    "make_tsmc28_like",
+    "DEFAULT_LOAD_AXIS",
+    "DEFAULT_SLEW_AXIS",
+    "LinearTimingSpec",
+    "NLDMTable",
+    "TimingArc",
+    "characterize",
+]

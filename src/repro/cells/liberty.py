@@ -1,0 +1,177 @@
+"""Liberty (.lib) export and import for the synthetic cell library.
+
+Real flows exchange characterisation data as Liberty text; emitting our
+library in that shape keeps the substrate honest and gives downstream
+users a familiar artefact to inspect.  The supported subset is the one
+the rest of the system consumes: per-cell area, per-pin capacitance and
+direction, one combinational timing arc with ``cell_rise``-style delay
+and ``rise_transition``-style output-slew NLDM tables.
+
+The parser reads back exactly what :func:`write_liberty` emits (plus
+whitespace/comment variations), reconstructing a :class:`Library` whose
+lookups match the original to float precision.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .cell import FUNCTIONS, Cell, split_cell_name
+from .library import Library
+from .timing_model import NLDMTable, TimingArc
+
+_PIN_LETTERS = "ABCD"
+
+
+def _format_axis(values: Tuple[float, ...]) -> str:
+    return ", ".join(f"{v:.10g}" for v in values)
+
+
+def _format_table(name: str, table: NLDMTable, indent: str) -> List[str]:
+    lines = [f"{indent}{name} (nldm_template) {{"]
+    lines.append(
+        f'{indent}  index_1 ("{_format_axis(table.slew_axis)}");'
+    )
+    lines.append(
+        f'{indent}  index_2 ("{_format_axis(table.load_axis)}");'
+    )
+    rows = ", \\\n".join(
+        f'{indent}    "' + ", ".join(f"{v:.10g}" for v in row) + '"'
+        for row in table.values
+    )
+    lines.append(f"{indent}  values ( \\\n{rows} \\\n{indent}  );")
+    lines.append(f"{indent}}}")
+    return lines
+
+
+def write_liberty(library: Library) -> str:
+    """Serialise ``library`` as Liberty text."""
+    out: List[str] = [
+        f"library ({library.name.replace('-', '_')}) {{",
+        '  time_unit : "1ps";',
+        '  capacitive_load_unit (1, ff);',
+        '  area_unit : "1um^2";',
+    ]
+    for cell in library.cells():
+        out.append(f"  cell ({cell.name}) {{")
+        out.append(f"    area : {cell.area:g};")
+        out.append(f"    drive_code : {cell.drive};")
+        for i in range(cell.arity):
+            out.append(f"    pin ({_PIN_LETTERS[i]}) {{")
+            out.append("      direction : input;")
+            out.append(f"      capacitance : {cell.input_cap:g};")
+            out.append("    }")
+        out.append("    pin (Z) {")
+        out.append("      direction : output;")
+        out.append(f"      max_capacitance : {cell.max_load:g};")
+        out.append(f"      function : \"{cell.function.name}\";")
+        out.append("      timing () {")
+        out.extend(_format_table("cell_rise", cell.arc.delay, "        "))
+        out.extend(
+            _format_table(
+                "rise_transition", cell.arc.output_slew, "        "
+            )
+        )
+        out.append("      }")
+        out.append("    }")
+        out.append("  }")
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+class LibertyParseError(ValueError):
+    """Raised on Liberty text the subset parser cannot handle."""
+
+
+_CELL_RE = re.compile(r"cell\s*\(\s*([\w]+)\s*\)\s*\{")
+_AREA_RE = re.compile(r"area\s*:\s*([\d.eE+-]+)\s*;")
+_CAP_RE = re.compile(r"capacitance\s*:\s*([\d.eE+-]+)\s*;")
+_MAXCAP_RE = re.compile(r"max_capacitance\s*:\s*([\d.eE+-]+)\s*;")
+_INDEX_RE = re.compile(r'index_(\d)\s*\(\s*"([^"]+)"\s*\)\s*;')
+_VALUES_RE = re.compile(r"values\s*\(([^;]*)\)\s*;", re.S)
+_TABLE_RE = re.compile(r"(cell_rise|rise_transition)\s*\([^)]*\)\s*\{")
+
+
+def _parse_axis(text: str) -> Tuple[float, ...]:
+    return tuple(float(v) for v in text.split(","))
+
+
+def _extract_block(text: str, start: int) -> Tuple[str, int]:
+    """Return the brace-balanced block starting at ``start`` ('{')."""
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[start + 1 : i], i + 1
+    raise LibertyParseError("unbalanced braces")
+
+
+def _parse_table(block: str) -> NLDMTable:
+    axes: Dict[int, Tuple[float, ...]] = {}
+    for num, axis_text in _INDEX_RE.findall(block):
+        axes[int(num)] = _parse_axis(axis_text)
+    m = _VALUES_RE.search(block)
+    if not m or 1 not in axes or 2 not in axes:
+        raise LibertyParseError("incomplete NLDM table")
+    body = m.group(1).replace("\\", " ")
+    rows = re.findall(r'"([^"]+)"', body)
+    values = tuple(
+        tuple(float(v) for v in row.split(",")) for row in rows
+    )
+    return NLDMTable(axes[1], axes[2], values)
+
+
+def parse_liberty(text: str, name: str = "parsed") -> Library:
+    """Parse the Liberty subset emitted by :func:`write_liberty`."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    cells: List[Cell] = []
+    pos = 0
+    while True:
+        m = _CELL_RE.search(text, pos)
+        if not m:
+            break
+        cell_name_txt = m.group(1)
+        block, pos = _extract_block(text, text.index("{", m.start()))
+        try:
+            function_name, drive = split_cell_name(cell_name_txt)
+        except ValueError as exc:
+            raise LibertyParseError(str(exc)) from exc
+        fn = FUNCTIONS.get(function_name)
+        if fn is None:
+            raise LibertyParseError(f"unknown function {function_name!r}")
+        area_m = _AREA_RE.search(block)
+        cap_m = _CAP_RE.search(block)
+        maxcap_m = _MAXCAP_RE.search(block)
+        if not area_m or not cap_m:
+            raise LibertyParseError(f"cell {cell_name_txt}: missing attrs")
+        tables: Dict[str, NLDMTable] = {}
+        for tm in _TABLE_RE.finditer(block):
+            tbl_block, _ = _extract_block(block, block.index("{", tm.start()))
+            tables[tm.group(1)] = _parse_table(tbl_block)
+        if "cell_rise" not in tables or "rise_transition" not in tables:
+            raise LibertyParseError(
+                f"cell {cell_name_txt}: missing timing tables"
+            )
+        cells.append(
+            Cell(
+                name=cell_name_txt,
+                function=fn,
+                drive=drive,
+                area=float(area_m.group(1)),
+                input_cap=float(cap_m.group(1)),
+                arc=TimingArc(
+                    delay=tables["cell_rise"],
+                    output_slew=tables["rise_transition"],
+                ),
+                max_load=(
+                    float(maxcap_m.group(1)) if maxcap_m else 12.0
+                ),
+            )
+        )
+    if not cells:
+        raise LibertyParseError("no cells found")
+    return Library(name, cells)

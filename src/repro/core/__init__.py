@@ -1,0 +1,95 @@
+"""The paper's primary contribution: LACs + double-chase grey wolf optimizer."""
+
+from .analysis import (
+    FaninDiff,
+    circuit_diff,
+    extract_lacs,
+    format_convergence,
+    format_diff,
+    format_pareto_front,
+    pareto_front,
+)
+from .dcgwo import DCGWO, DCGWOConfig
+from .fitness import CircuitEval, DepthMode, EvalContext, evaluate
+from .lacs import LAC, applied_copy, apply_lac, is_safe
+from .pareto import (
+    crowding_distance,
+    dominates,
+    non_dominated_sort,
+    nsga2_select,
+)
+from .population import (
+    NUM_ELITES,
+    PopulationDivision,
+    decision_parameter,
+    divide_population,
+    encircling_coefficient,
+    fitness_distance,
+    scaling_factor,
+)
+from .relaxation import ErrorRelaxation
+from .reproduction import (
+    LevelWeights,
+    circuit_reproduce,
+    pick_superior_partner,
+    po_levels,
+)
+from .result import IterationStats, OptimizationResult
+from .searching import (
+    circuit_search,
+    circuit_simplify,
+    collect_targets,
+    propose_search_lac,
+)
+from .simplify import (
+    Simplification,
+    apply_simplification,
+    propose_simplification,
+    simplified_copy,
+)
+
+__all__ = [
+    "FaninDiff",
+    "circuit_diff",
+    "extract_lacs",
+    "format_convergence",
+    "format_diff",
+    "format_pareto_front",
+    "pareto_front",
+    "DCGWO",
+    "DCGWOConfig",
+    "CircuitEval",
+    "DepthMode",
+    "EvalContext",
+    "evaluate",
+    "LAC",
+    "applied_copy",
+    "apply_lac",
+    "is_safe",
+    "crowding_distance",
+    "dominates",
+    "non_dominated_sort",
+    "nsga2_select",
+    "NUM_ELITES",
+    "PopulationDivision",
+    "decision_parameter",
+    "divide_population",
+    "encircling_coefficient",
+    "fitness_distance",
+    "scaling_factor",
+    "ErrorRelaxation",
+    "LevelWeights",
+    "circuit_reproduce",
+    "pick_superior_partner",
+    "po_levels",
+    "IterationStats",
+    "OptimizationResult",
+    "circuit_search",
+    "circuit_simplify",
+    "Simplification",
+    "apply_simplification",
+    "propose_simplification",
+    "simplified_copy",
+    "collect_targets",
+    "propose_search_lac",
+]

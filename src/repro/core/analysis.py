@@ -1,0 +1,132 @@
+"""Post-run analysis: LAC traces, Pareto fronts, convergence tables.
+
+Everything a user needs to understand *what the optimizer actually did*
+to a circuit: which substitutions differentiate the approximate netlist
+from the accurate one, where the surviving population sits in the
+(fd, fa) objective plane, and how the best member improved per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..netlist import Circuit
+from .fitness import CircuitEval
+from .lacs import LAC
+from .pareto import non_dominated_sort
+from .result import OptimizationResult
+
+
+@dataclass(frozen=True)
+class FaninDiff:
+    """One gate whose fan-in tuple differs between two circuits."""
+
+    gate: int
+    cell: str
+    before: Tuple[int, ...]
+    after: Tuple[int, ...]
+
+    def substitutions(self) -> List[Tuple[int, int]]:
+        """Positional (old, new) fan-in pairs that changed."""
+        return [
+            (b, a)
+            for b, a in zip(self.before, self.after)
+            if b != a
+        ]
+
+
+def circuit_diff(accurate: Circuit, approx: Circuit) -> List[FaninDiff]:
+    """Fan-in level diff between an accurate circuit and its descendant.
+
+    Both circuits must share the gate ID space (which every optimizer in
+    this package preserves).  Gates deleted by post-optimization are
+    reported with ``after=()``.
+    """
+    diffs: List[FaninDiff] = []
+    for gid in sorted(accurate.fanins):
+        before = accurate.fanins[gid]
+        after = approx.fanins.get(gid, ())
+        if before != after:
+            diffs.append(
+                FaninDiff(
+                    gate=gid,
+                    cell=accurate.cells[gid],
+                    before=before,
+                    after=after,
+                )
+            )
+    return diffs
+
+
+def extract_lacs(accurate: Circuit, approx: Circuit) -> List[LAC]:
+    """Recover the effective LAC list from a diff.
+
+    Each changed fan-in slot (old -> new) corresponds to one wire
+    substitution; duplicates (the same old gate redirected to the same
+    switch in several consumers) collapse to a single LAC, matching how
+    ``Circuit.substitute`` fans a single change out.
+    """
+    seen: Dict[Tuple[int, int], None] = {}
+    for diff in circuit_diff(accurate, approx):
+        if not diff.after:
+            continue  # deleted gate, not a substitution
+        for old, new in diff.substitutions():
+            seen.setdefault((old, new), None)
+    return [LAC(target=t, switch=s) for (t, s) in seen]
+
+
+def format_diff(accurate: Circuit, approx: Circuit) -> str:
+    """Human-readable substitution trace."""
+    lines = [f"diff {accurate.name} -> {approx.name}:"]
+    for diff in circuit_diff(accurate, approx):
+        if not diff.after:
+            lines.append(f"  U{diff.gate} ({diff.cell}) deleted")
+            continue
+        for old, new in diff.substitutions():
+            src = "const0" if new == -1 else (
+                "const1" if new == -2 else f"U{new}"
+            )
+            lines.append(
+                f"  U{diff.gate} ({diff.cell}): fan-in U{old} -> {src}"
+            )
+    if len(lines) == 1:
+        lines.append("  (identical)")
+    return "\n".join(lines)
+
+
+def pareto_front(population: Sequence[CircuitEval]) -> List[CircuitEval]:
+    """The rank-0 members of a final population in the (fd, fa) plane."""
+    if not population:
+        return []
+    points = [(ev.fd, ev.fa) for ev in population]
+    fronts = non_dominated_sort(points)
+    front = [population[i] for i in fronts[0]]
+    front.sort(key=lambda ev: (-ev.fd, -ev.fa))
+    return front
+
+
+def format_pareto_front(population: Sequence[CircuitEval]) -> str:
+    """Render the final front as a text table."""
+    rows = [f"{'fd':>8}{'fa':>8}{'fitness':>9}{'error':>9}{'CPD':>10}"]
+    for ev in pareto_front(population):
+        rows.append(
+            f"{ev.fd:>8.4f}{ev.fa:>8.4f}{ev.fitness:>9.4f}"
+            f"{ev.error:>9.5f}{ev.cpd:>10.2f}"
+        )
+    return "\n".join(rows)
+
+
+def format_convergence(result: OptimizationResult) -> str:
+    """Render per-iteration best fitness/objectives as a text table."""
+    rows = [
+        f"{'iter':>5}{'fitness':>9}{'fd':>8}{'fa':>8}"
+        f"{'error':>9}{'constraint':>11}{'evals':>7}"
+    ]
+    for h in result.history:
+        rows.append(
+            f"{h.iteration:>5}{h.best_fitness:>9.4f}{h.best_fd:>8.4f}"
+            f"{h.best_fa:>8.4f}{h.best_error:>9.5f}"
+            f"{h.error_constraint:>11.5f}{h.evaluations:>7}"
+        )
+    return "\n".join(rows)

@@ -1,0 +1,321 @@
+"""The double-chase grey wolf optimizer (paper §III-B, Figs. 2/4/5).
+
+Per iteration:
+
+* the population is divided into leader / elites / ω group by fitness;
+* **Chase 1** — each elite draws ``W`` against the leader's fitness and
+  either reproduces with a fitter circuit (``W > Se``) or searches;
+* **Chase 2** — each ω circuit draws ``W`` against the elite average and
+  either performs *both* actions (``W > Sω``) or a random one of the two;
+* the leader always searches, preserving its variability;
+* candidates (population before + after the chases) are filtered by the
+  asymptotically relaxed error constraint, non-dominated sorted on
+  ``(fd, fa)`` with crowding distance, and the best N survive.
+
+The best error-feasible circuit seen anywhere in the run is archived and
+returned.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from ..netlist import Circuit
+from ..sim import best_switch
+from .fitness import CircuitEval, DepthMode, EvalContext, evaluate
+from .lacs import LAC, applied_copy, is_safe
+from .pareto import nsga2_select
+from .population import (
+    decision_parameter,
+    divide_population,
+    scaling_factor,
+)
+from .relaxation import ErrorRelaxation
+from .reproduction import (
+    LevelWeights,
+    circuit_reproduce,
+    pick_superior_partner,
+)
+from .result import IterationStats, OptimizationResult
+from .searching import circuit_search, circuit_simplify
+
+
+@dataclass
+class DCGWOConfig:
+    """Hyper-parameters; defaults follow the paper's §IV-A settings."""
+
+    population_size: int = 30  # N
+    imax: int = 20  # upper iteration limit
+    wd: float = 0.8  # depth weight in Eq. 8 (Fig. 6 optimum)
+    se: float = 0.0  # elite decision threshold
+    s_omega: float = 0.0  # omega decision threshold
+    num_paths: int = 2  # critical paths mined per search
+    search_retries: int = 4  # re-draws when a search child is a duplicate
+    seed: int = 0
+    relax_start_fraction: float = 0.25
+    depth_mode: DepthMode = DepthMode.DELAY
+    use_relaxation: bool = True  # ablation hook
+    use_crowding: bool = True  # ablation hook: False = plain fitness sort
+    use_reproduction: bool = True  # ablation hook: False = searching only
+    enable_simplification: bool = False  # extension: in-place gate rewrites
+    simplification_rate: float = 0.3  # P(simplify) per search action
+
+
+class DCGWO:
+    """Double-chase grey wolf optimizer over approximate circuits.
+
+    Args:
+        ctx: shared evaluation context built around the accurate circuit.
+        error_bound: the user-specified maximum error (ER or NMED,
+            matching ``ctx.error_mode``).
+        config: hyper-parameters.
+    """
+
+    method_name = "DCGWO"
+
+    def __init__(
+        self,
+        ctx: EvalContext,
+        error_bound: float,
+        config: Optional[DCGWOConfig] = None,
+    ):
+        self.ctx = ctx
+        self.error_bound = error_bound
+        self.config = config or DCGWOConfig()
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, circuit: Circuit) -> CircuitEval:
+        self._evaluations += 1
+        return evaluate(self.ctx, circuit)
+
+    def _random_lac(
+        self, circuit: Circuit, rng: random.Random, values
+    ) -> Optional[LAC]:
+        """A similarity-guided LAC on a uniformly random logic gate."""
+        logic = circuit.logic_ids()
+        if not logic:
+            return None
+        for _ in range(8):  # retry budget against unsafe picks
+            target = logic[rng.randrange(len(logic))]
+            found = best_switch(
+                circuit, values, target, self.ctx.vectors.num_vectors
+            )
+            if found is None:
+                continue
+            lac = LAC(target=target, switch=found[0])
+            if is_safe(circuit, lac):
+                return lac
+        return None
+
+    def _initial_population(self, rng: random.Random) -> List[CircuitEval]:
+        """P0: accurate circuit forked with one random LAC per member."""
+        population: List[CircuitEval] = []
+        seen: Set[int] = set()
+        reference = self.ctx.reference
+        values = self.ctx.reference_values
+        attempts = 0
+        while (
+            len(population) < self.config.population_size
+            and attempts < 20 * self.config.population_size
+        ):
+            attempts += 1
+            lac = self._random_lac(reference, rng, values)
+            if lac is None:
+                break
+            child = applied_copy(reference, lac)
+            key = child.structure_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            population.append(self._evaluate(child))
+        if not population:
+            # Degenerate circuit with no admissible LAC: seed with the
+            # accurate circuit itself so the optimizer still terminates.
+            population.append(self._evaluate(reference.copy()))
+        return population
+
+    # ------------------------------------------------------------------
+    def _chase_children(
+        self,
+        population: List[CircuitEval],
+        iteration: int,
+        rng: random.Random,
+        weights: LevelWeights,
+        seen: Optional[Set[int]] = None,
+    ) -> List[Circuit]:
+        """Run both chases plus the leader search; returns new circuits.
+
+        ``seen`` holds structure keys already in the candidate pool; a
+        searched child that duplicates one is re-drawn (fresh random
+        target) up to ``search_retries`` times, which keeps evaluation
+        budget from being wasted once the population starts converging.
+        """
+        cfg = self.config
+        division = divide_population(population)
+        a = scaling_factor(iteration, cfg.imax)
+        children: List[Circuit] = []
+        seen_keys: Set[int] = seen if seen is not None else set()
+
+        def search(ev: CircuitEval) -> None:
+            for _ in range(max(cfg.search_retries, 1)):
+                if (
+                    cfg.enable_simplification
+                    and rng.random() < cfg.simplification_rate
+                ):
+                    child = circuit_simplify(
+                        ev, self.ctx, rng, cfg.num_paths
+                    )
+                else:
+                    child = circuit_search(
+                        ev, self.ctx, rng, cfg.num_paths
+                    )
+                if child is None:
+                    return
+                key = child.structure_key()
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    children.append(child)
+                    return
+
+        def reproduce(ev: CircuitEval) -> None:
+            if not cfg.use_reproduction:
+                search(ev)
+                return
+            partner = pick_superior_partner(population, ev, rng)
+            if partner is None:
+                partner = division.leader
+            if partner is ev:
+                search(ev)
+                return
+            child = circuit_reproduce(ev, partner, self.ctx, weights)
+            key = child.structure_key()
+            if key in seen_keys:
+                # The crossover reproduced an existing structure (the
+                # parents' cones agree); fall back to searching so the
+                # action still explores.
+                search(ev)
+                return
+            seen_keys.add(key)
+            children.append(child)
+
+        # Chase 1: elites consult the leader.
+        for ev in division.elites:
+            w = decision_parameter(ev, division.leader.fitness, a, rng)
+            if w > cfg.se:
+                reproduce(ev)
+            else:
+                search(ev)
+
+        # Chase 2: omega circuits consult the elite average.
+        elite_ref = division.elite_mean_fitness
+        for ev in division.omegas:
+            w = decision_parameter(ev, elite_ref, a, rng)
+            if w > cfg.s_omega:
+                search(ev)
+                reproduce(ev)
+            elif rng.random() < 0.5:
+                search(ev)
+            else:
+                reproduce(ev)
+
+        # The leader searches to preserve variability.
+        search(division.leader)
+        return children
+
+    def _select(
+        self, candidates: List[CircuitEval], constraint: float
+    ) -> List[CircuitEval]:
+        """Error filter + non-dominated sort + crowding selection."""
+        cfg = self.config
+        feasible = [ev for ev in candidates if ev.error <= constraint]
+        if not feasible:
+            # Everything violates the (tight, early) constraint: keep the
+            # lowest-error members so the population can re-enter the
+            # feasible region instead of dying out.
+            feasible = sorted(candidates, key=lambda ev: ev.error)[
+                : cfg.population_size
+            ]
+        if not cfg.use_crowding:
+            ranked = sorted(feasible, key=lambda ev: -ev.fitness)
+            return ranked[: cfg.population_size]
+        points = [(ev.fd, ev.fa) for ev in feasible]
+        chosen = nsga2_select(points, cfg.population_size)
+        return [feasible[i] for i in chosen]
+
+    # ------------------------------------------------------------------
+    def optimize(self) -> OptimizationResult:
+        """Run the full DCGWO loop and return the archived best."""
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        start = time.perf_counter()
+        self._evaluations = 0
+        weights = LevelWeights.paper_defaults(self.ctx)
+        relax = ErrorRelaxation(
+            final=self.error_bound,
+            imax=cfg.imax,
+            start_fraction=(
+                cfg.relax_start_fraction if cfg.use_relaxation else 1.0
+            ),
+        )
+
+        population = self._initial_population(rng)
+        best: Optional[CircuitEval] = None
+
+        def consider(ev: CircuitEval) -> None:
+            nonlocal best
+            if ev.error > self.error_bound:
+                return
+            if best is None or ev.fitness > best.fitness:
+                best = ev
+
+        for ev in population:
+            consider(ev)
+
+        history: List[IterationStats] = []
+        for iteration in range(1, cfg.imax + 1):
+            constraint = relax.at(iteration)
+            seen = {ev.circuit.structure_key() for ev in population}
+            children = self._chase_children(
+                population, iteration, rng, weights, seen
+            )
+            child_evals: List[CircuitEval] = []
+            evaluated: Set[int] = set()
+            for child in children:
+                key = child.structure_key()
+                if key in evaluated:
+                    continue
+                evaluated.add(key)
+                child_evals.append(self._evaluate(child))
+            for ev in child_evals:
+                consider(ev)
+            candidates = population + child_evals
+            population = self._select(candidates, constraint)
+            top = max(population, key=lambda ev: ev.fitness)
+            history.append(
+                IterationStats(
+                    iteration=iteration,
+                    best_fitness=top.fitness,
+                    best_fd=top.fd,
+                    best_fa=top.fa,
+                    best_error=top.error,
+                    error_constraint=constraint,
+                    evaluations=self._evaluations,
+                )
+            )
+
+        if best is None:
+            # No feasible approximation found: fall back to the accurate
+            # circuit (zero error, ratio 1.0) so downstream stages work.
+            best = self._evaluate(self.ctx.reference.copy())
+        return OptimizationResult(
+            method=self.method_name,
+            best=best,
+            population=population,
+            history=history,
+            evaluations=self._evaluations,
+            runtime_s=time.perf_counter() - start,
+        )

@@ -1,0 +1,164 @@
+"""Circuit fitness evaluation (paper Eq. 8) and the shared eval context.
+
+``Fit(ci) = wd * Depth_ori / Depth_app + wa * Area_ori / Area_app``
+
+Depth is the STA critical-path delay by default (what PrimeTime reports
+and what the paper optimises); a unit-depth mode exists for ablations.
+An :class:`EvalContext` bundles everything an evaluation needs — library,
+STA engine, Monte-Carlo vectors, the accurate circuit's reference outputs
+and baselines — so optimizers stay stateless and comparable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..cells import Library
+from ..netlist import Circuit
+from ..sim import (
+    ErrorMode,
+    VectorSet,
+    measure_error,
+    per_po_error,
+    po_words,
+    random_vectors,
+    simulate,
+)
+from ..sim.bitsim import ValueMap
+from ..sta import STAEngine, TimingReport
+
+#: Guard against division by zero on fully-degenerate circuits.
+_EPS = 1e-9
+
+
+class DepthMode(enum.Enum):
+    """How ``Depth`` in Eq. 8 is measured."""
+
+    DELAY = "delay"  # STA critical-path delay in ps (paper's metric)
+    UNIT = "unit"  # gate levels (ablation)
+
+
+@dataclass
+class EvalContext:
+    """Shared state for evaluating approximate circuits of one benchmark."""
+
+    library: Library
+    sta: STAEngine
+    vectors: VectorSet
+    error_mode: ErrorMode
+    reference: Circuit
+    reference_values: ValueMap
+    reference_po: np.ndarray
+    depth_ori: float
+    area_ori: float
+    cpd_ori: float
+    wd: float = 0.8
+    depth_mode: DepthMode = DepthMode.DELAY
+
+    @property
+    def wa(self) -> float:
+        """Area weight; the paper fixes ``wa = 1 - wd``."""
+        return 1.0 - self.wd
+
+    @classmethod
+    def build(
+        cls,
+        circuit: Circuit,
+        library: Library,
+        error_mode: ErrorMode,
+        num_vectors: int = 2048,
+        seed: int = 0,
+        wd: float = 0.8,
+        depth_mode: DepthMode = DepthMode.DELAY,
+        vectors: Optional[VectorSet] = None,
+        sta: Optional[STAEngine] = None,
+    ) -> "EvalContext":
+        """Construct a context around one accurate circuit."""
+        if not 0.0 <= wd <= 1.0:
+            raise ValueError("wd must be in [0, 1]")
+        engine = sta or STAEngine(library)
+        vecs = vectors or random_vectors(
+            len(circuit.pi_ids), num_vectors, seed
+        )
+        report = engine.analyze(circuit)
+        values = simulate(circuit, vecs)
+        depth_ori = (
+            report.cpd
+            if depth_mode is DepthMode.DELAY
+            else float(report.max_unit_depth)
+        )
+        return cls(
+            library=library,
+            sta=engine,
+            vectors=vecs,
+            error_mode=error_mode,
+            reference=circuit,
+            reference_values=values,
+            reference_po=po_words(circuit, values),
+            depth_ori=depth_ori,
+            area_ori=circuit.area(library),
+            cpd_ori=report.cpd,
+            wd=wd,
+            depth_mode=depth_mode,
+        )
+
+
+@dataclass
+class CircuitEval:
+    """A fully-evaluated approximate circuit.
+
+    ``fd`` and ``fa`` are the paper's depth/area objective functions
+    (``Depth_ori/Depth_app`` and ``Area_ori/Area_app``); ``fitness`` is
+    their Eq. 8 weighted sum.  Larger is better for all three.
+    """
+
+    circuit: Circuit
+    report: TimingReport
+    values: ValueMap
+    depth: float
+    area: float
+    error: float
+    per_po_error: List[float]
+    fd: float
+    fa: float
+    fitness: float
+
+    @property
+    def cpd(self) -> float:
+        """Critical-path delay of this circuit (ps)."""
+        return self.report.cpd
+
+
+def evaluate(ctx: EvalContext, circuit: Circuit) -> CircuitEval:
+    """STA + simulation + error + Eq. 8 fitness for one circuit."""
+    report = ctx.sta.analyze(circuit)
+    values = simulate(circuit, ctx.vectors)
+    app_po = po_words(circuit, values)
+    nv = ctx.vectors.num_vectors
+    error = measure_error(ctx.error_mode, ctx.reference_po, app_po, nv)
+    po_errors = per_po_error(ctx.error_mode, ctx.reference_po, app_po, nv)
+    depth = (
+        report.cpd
+        if ctx.depth_mode is DepthMode.DELAY
+        else float(report.max_unit_depth)
+    )
+    area = circuit.area(ctx.library)
+    fd = ctx.depth_ori / max(depth, _EPS)
+    fa = ctx.area_ori / max(area, _EPS)
+    fitness = ctx.wd * fd + ctx.wa * fa
+    return CircuitEval(
+        circuit=circuit,
+        report=report,
+        values=values,
+        depth=depth,
+        area=area,
+        error=error,
+        per_po_error=po_errors,
+        fd=fd,
+        fa=fa,
+        fitness=fitness,
+    )

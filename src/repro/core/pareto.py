@@ -1,0 +1,95 @@
+"""Non-dominated sorting and crowding distance (NSGA-II style selection).
+
+The population update of the paper (§III-B, "Circuit Population Update")
+ranks the candidate group by Pareto dominance on the two maximised
+objectives ``fd = Depth_ori/Depth_app`` and ``fa = Area_ori/Area_app``,
+computes crowding distance inside each front (Eq. 9), and fills the next
+population front by front, most-crowded-out first.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def dominates(a: Point, b: Point) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` (maximising both axes)."""
+    return a[0] >= b[0] and a[1] >= b[1] and (a[0] > b[0] or a[1] > b[1])
+
+
+def non_dominated_sort(points: Sequence[Point]) -> List[List[int]]:
+    """Partition indices into Pareto fronts, rank 0 first.
+
+    The deletion-based scheme the paper describes: maintain each point's
+    dominator count, peel off the zero-count set, decrement, repeat.
+    """
+    n = len(points)
+    dominated_by: List[int] = [0] * n  # |Ld|: how many points dominate i
+    dominates_list: List[List[int]] = [[] for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(points[i], points[j]):
+                dominates_list[i].append(j)
+                dominated_by[j] += 1
+            elif dominates(points[j], points[i]):
+                dominates_list[j].append(i)
+                dominated_by[i] += 1
+    fronts: List[List[int]] = []
+    current = [i for i in range(n) if dominated_by[i] == 0]
+    while current:
+        fronts.append(current)
+        nxt: List[int] = []
+        for i in current:
+            for j in dominates_list[i]:
+                dominated_by[j] -= 1
+                if dominated_by[j] == 0:
+                    nxt.append(j)
+        current = nxt
+    return fronts
+
+
+def crowding_distance(
+    points: Sequence[Point], front: Sequence[int]
+) -> Dict[int, float]:
+    """Eq. 9 crowding distance of each index in one front.
+
+    Boundary points on each objective get ``+inf``; interior points sum
+    the normalised gap between their neighbours over both objectives.
+    """
+    dist: Dict[int, float] = {i: 0.0 for i in front}
+    if len(front) <= 2:
+        return {i: math.inf for i in front}
+    for axis in (0, 1):
+        ordered = sorted(front, key=lambda i: points[i][axis])
+        lo = points[ordered[0]][axis]
+        hi = points[ordered[-1]][axis]
+        span = hi - lo
+        dist[ordered[0]] = math.inf
+        dist[ordered[-1]] = math.inf
+        if span <= 0.0:
+            continue
+        for k in range(1, len(ordered) - 1):
+            prev_v = points[ordered[k - 1]][axis]
+            next_v = points[ordered[k + 1]][axis]
+            if not math.isinf(dist[ordered[k]]):
+                dist[ordered[k]] += (next_v - prev_v) / span
+    return dist
+
+
+def nsga2_select(points: Sequence[Point], count: int) -> List[int]:
+    """Select ``count`` indices: front by front, crowded-descending within.
+
+    Returns fewer than ``count`` when there are fewer points.
+    """
+    selected: List[int] = []
+    for front in non_dominated_sort(points):
+        dist = crowding_distance(points, front)
+        ordered = sorted(front, key=lambda i: (-dist[i], i))
+        for i in ordered:
+            if len(selected) == count:
+                return selected
+            selected.append(i)
+    return selected

@@ -1,0 +1,90 @@
+"""Population division and grey-wolf decision parameters (Eqs. 4-7).
+
+The double-chase hierarchy (paper Fig. 4) splits the population by
+fitness into the leader circuit (rank 1), three elite circuits (ranks
+2-4), and the ω group (everything else).  Each non-leader circuit draws a
+decision parameter
+
+    W = A * D,   A = (2 r1 - 1) * a,   a = 2 - 2 iter / Imax
+
+where D measures fitness distance to the hierarchy it chases: elites
+chase the leader, ω circuits chase the elite average (Eq. 4, with
+``rc ~ U[0, 2]``).  Comparing W with the thresholds Se / Sω decides
+between the searching and reproduction actions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .fitness import CircuitEval
+
+#: Number of elite circuits below the leader (paper: fitness ranks 2-4).
+NUM_ELITES = 3
+
+
+@dataclass
+class PopulationDivision:
+    """Fitness-ranked split of one population."""
+
+    leader: CircuitEval
+    elites: List[CircuitEval]
+    omegas: List[CircuitEval]
+
+    @property
+    def all_members(self) -> List[CircuitEval]:
+        """Leader, elites, and ω circuits in rank order."""
+        return [self.leader] + self.elites + self.omegas
+
+    @property
+    def elite_mean_fitness(self) -> float:
+        """Average elite fitness — the ω group's chase reference (Eq. 4)."""
+        if not self.elites:
+            return self.leader.fitness
+        return sum(e.fitness for e in self.elites) / len(self.elites)
+
+
+def divide_population(population: Sequence[CircuitEval]) -> PopulationDivision:
+    """Rank by fitness and split into leader / elites / ω group."""
+    if not population:
+        raise ValueError("population is empty")
+    ranked = sorted(population, key=lambda ev: -ev.fitness)
+    return PopulationDivision(
+        leader=ranked[0],
+        elites=list(ranked[1 : 1 + NUM_ELITES]),
+        omegas=list(ranked[1 + NUM_ELITES :]),
+    )
+
+
+def scaling_factor(iteration: int, imax: int) -> float:
+    """Eq. 7: ``a`` decays linearly from 2 to 0 over the run."""
+    if imax <= 0:
+        raise ValueError("imax must be positive")
+    iteration = min(max(iteration, 0), imax)
+    return 2.0 - 2.0 * iteration / imax
+
+
+def encircling_coefficient(a: float, rng: random.Random) -> float:
+    """Eq. 6: ``A = (2 r1 - 1) a`` with ``r1 ~ U[0, 1]``."""
+    return (2.0 * rng.random() - 1.0) * a
+
+
+def fitness_distance(
+    ev: CircuitEval, reference_fitness: float, rng: random.Random
+) -> float:
+    """Eq. 4: ``D = rc * Fit(ref) - Fit(ci)`` with ``rc ~ U[0, 2]``."""
+    rc = 2.0 * rng.random()
+    return rc * reference_fitness - ev.fitness
+
+
+def decision_parameter(
+    ev: CircuitEval,
+    reference_fitness: float,
+    a: float,
+    rng: random.Random,
+) -> float:
+    """Eq. 5: ``W = A * D`` — the action selector for one circuit."""
+    d = fitness_distance(ev, reference_fitness, rng)
+    return encircling_coefficient(a, rng) * d

@@ -1,0 +1,55 @@
+"""Asymptotic error-constraint relaxation (paper §III-B, last paragraph).
+
+The error constraint is tightened at iteration 0 and relaxed along a
+quadratic schedule
+
+    Error_cons(iter) = b * iter**2 + Error_cons(0)
+
+reaching the user-specified bound at ``Imax``.  Starting tight keeps the
+early population away from the error boundary, which the paper credits
+with avoiding premature convergence into local optima.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ErrorRelaxation:
+    """Quadratic error-constraint schedule.
+
+    Attributes:
+        final: the user-specified maximum error constraint.
+        imax: iteration at which the schedule reaches ``final``.
+        start_fraction: ``Error_cons(0) / final``.
+    """
+
+    final: float
+    imax: int
+    start_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.final < 0.0:
+            raise ValueError("error bound must be non-negative")
+        if self.imax < 1:
+            raise ValueError("imax must be positive")
+        if not 0.0 <= self.start_fraction <= 1.0:
+            raise ValueError("start fraction must be in [0, 1]")
+
+    @property
+    def initial(self) -> float:
+        """``Error_cons(0)``."""
+        return self.final * self.start_fraction
+
+    @property
+    def b(self) -> float:
+        """The quadratic coefficient that lands on ``final`` at ``imax``."""
+        return (self.final - self.initial) / float(self.imax**2)
+
+    def at(self, iteration: int) -> float:
+        """Constraint in force during ``iteration`` (clamped at final)."""
+        if iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        value = self.b * float(iteration**2) + self.initial
+        return min(value, self.final)

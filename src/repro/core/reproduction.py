@@ -1,0 +1,127 @@
+"""The circuit-reproduction approximate action (paper §III-B, Fig. 5).
+
+Reproduction crosses over two approximate circuits at PO granularity:
+each primary output's cone (the PO-TFI pair) is scored with the Level
+function (Eq. 3)
+
+    Level(PO_i) = wt / Ta(PO_i) + we / Error(PO_i)
+
+and the child takes each PO's cone from whichever parent scores higher.
+Gates shared between cones accept adjacency information only from the
+first write-in (cones are written in descending Level order); gates in no
+selected cone are filled from the fitter parent so the child is complete.
+
+All population members share the accurate circuit's gate ID space and
+preserve its topological order (see ``core.lacs``), so any cone mixture
+is acyclic by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist import Circuit
+from .fitness import CircuitEval, EvalContext
+
+#: Error floor: half an LSB of what the Monte-Carlo batch can resolve.
+def _error_floor(num_vectors: int) -> float:
+    return 0.5 / num_vectors
+
+
+@dataclass(frozen=True)
+class LevelWeights:
+    """Weights of the PO-TFI pair evaluation function (Eq. 3).
+
+    The paper sets ``wt = 0.9 * CPD_ori`` (so the timing term is O(1) for
+    paths near the accurate critical delay) and ``we = 0.1`` under ER /
+    ``0.2`` under NMED constraints.
+    """
+
+    wt: float
+    we: float
+
+    @classmethod
+    def paper_defaults(cls, ctx: EvalContext) -> "LevelWeights":
+        """§IV-A settings: wt = 0.9 CPD_ori; we = 0.1 (ER) / 0.2 (NMED)."""
+        from ..sim import ErrorMode
+
+        we = 0.1 if ctx.error_mode is ErrorMode.ER else 0.2
+        return cls(wt=0.9 * ctx.cpd_ori, we=we)
+
+
+def po_levels(
+    ev: CircuitEval, ctx: EvalContext, weights: LevelWeights
+) -> Dict[int, float]:
+    """Eq. 3 Level score for every PO of one evaluated circuit."""
+    floor = _error_floor(ctx.vectors.num_vectors)
+    # POs driven by constants/PIs arrive at ~0; floor Ta at 1% of the
+    # accurate CPD so the timing term saturates instead of exploding and
+    # drowning out the error term.
+    ta_floor = 0.01 * ctx.cpd_ori
+    levels: Dict[int, float] = {}
+    for idx, po in enumerate(ev.circuit.po_ids):
+        ta = max(ev.report.po_arrival(po), ta_floor, 1e-9)
+        err = max(ev.per_po_error[idx], floor)
+        levels[po] = weights.wt / ta + weights.we / err
+    return levels
+
+
+def circuit_reproduce(
+    ev_a: CircuitEval,
+    ev_b: CircuitEval,
+    ctx: EvalContext,
+    weights: Optional[LevelWeights] = None,
+) -> Circuit:
+    """Cross two evaluated circuits into a reproduced child.
+
+    Both parents must be population members derived from the same
+    accurate circuit (identical gate ID space and port lists).
+    """
+    if ev_a.circuit.po_ids != ev_b.circuit.po_ids:
+        raise ValueError("parents expose different PO sets")
+    weights = weights or LevelWeights.paper_defaults(ctx)
+    levels_a = po_levels(ev_a, ctx, weights)
+    levels_b = po_levels(ev_b, ctx, weights)
+
+    # Fill every gate from the fitter parent first; selected cones then
+    # overwrite so un-coned (dangling) gates stay complete, matching the
+    # paper's completeness rule for gates outside every PO-TFI pair.
+    base, other = (
+        (ev_a, ev_b) if ev_a.fitness >= ev_b.fitness else (ev_b, ev_a)
+    )
+    child = base.circuit.copy()
+
+    # Choose the parent per PO and write cones in descending Level order:
+    # shared gates accept adjacency only from the first write-in.
+    choices: List[Tuple[float, int, Circuit]] = []
+    for po in child.po_ids:
+        if levels_a[po] >= levels_b[po]:
+            choices.append((levels_a[po], po, ev_a.circuit))
+        else:
+            choices.append((levels_b[po], po, ev_b.circuit))
+    choices.sort(key=lambda item: (-item[0], item[1]))
+
+    written: set = set()
+    for _, po, parent in choices:
+        for gid in parent.transitive_fanin(po, include_self=True):
+            if gid in written:
+                continue
+            child.fanins[gid] = parent.fanins[gid]
+            if not child.is_po(gid):
+                child.cells[gid] = parent.cells[gid]
+            written.add(gid)
+    return child
+
+
+def pick_superior_partner(
+    population: List[CircuitEval],
+    ev: CircuitEval,
+    rng: random.Random,
+) -> Optional[CircuitEval]:
+    """A random strictly-fitter population member to reproduce with."""
+    better = [p for p in population if p.fitness > ev.fitness]
+    if not better:
+        return None
+    return better[rng.randrange(len(better))]

@@ -1,0 +1,42 @@
+"""Result containers shared by DCGWO and every baseline optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .fitness import CircuitEval
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """One row of an optimizer's convergence history."""
+
+    iteration: int
+    best_fitness: float
+    best_fd: float
+    best_fa: float
+    best_error: float
+    error_constraint: float
+    evaluations: int
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimization run.
+
+    ``best`` is the best error-feasible evaluated circuit found anywhere
+    during the run (not merely in the final population).
+    """
+
+    method: str
+    best: CircuitEval
+    population: List[CircuitEval] = field(default_factory=list)
+    history: List[IterationStats] = field(default_factory=list)
+    evaluations: int = 0
+    runtime_s: float = 0.0
+
+    @property
+    def best_circuit(self):
+        """Shorthand for the archived best circuit."""
+        return self.best.circuit

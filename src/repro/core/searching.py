@@ -1,0 +1,104 @@
+"""The circuit-searching approximate action (paper §III-B, Fig. 5 left).
+
+Searching shortens critical paths with wire-by-wire / wire-by-constant
+LACs:
+
+1. extract the critical paths (maximum propagation time PI -> PO);
+2. collect their gates into the targets set ``Tc``; sample each gate
+   against a uniform(0,1) draw and, above 0.5, pull its fan-ins into
+   ``Tc`` as well;
+3. pick a random target from ``Tc``;
+4. pick the switch with the highest simulated output similarity among
+   the target's transitive fan-in and the constants '0'/'1'.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set
+
+from ..netlist import Circuit, is_const
+from ..sim import best_switch
+from ..sta import critical_paths, path_logic_gates
+from .fitness import CircuitEval, EvalContext
+from .lacs import LAC, applied_copy, is_safe
+
+
+def collect_targets(
+    ev: CircuitEval, rng: random.Random, num_paths: int = 3
+) -> List[int]:
+    """Build the targets set ``Tc`` from the critical paths."""
+    circuit = ev.circuit
+    targets: Set[int] = set()
+    for path in critical_paths(ev.report, count=num_paths):
+        for gid in path_logic_gates(circuit, path):
+            targets.add(gid)
+            if rng.random() > 0.5:
+                targets.update(
+                    fi
+                    for fi in circuit.fanins[gid]
+                    if not is_const(fi) and circuit.is_logic(fi)
+                )
+    return sorted(targets)
+
+
+def propose_search_lac(
+    ev: CircuitEval,
+    ctx: EvalContext,
+    rng: random.Random,
+    num_paths: int = 3,
+) -> Optional[LAC]:
+    """Choose the (target, switch) pair for one searching step.
+
+    Returns ``None`` when no admissible move exists (e.g. the critical
+    path has already collapsed onto constants).
+    """
+    targets = collect_targets(ev, rng, num_paths)
+    if not targets:
+        return None
+    target = targets[rng.randrange(len(targets))]
+    found = best_switch(
+        ev.circuit, ev.values, target, ctx.vectors.num_vectors
+    )
+    if found is None:
+        return None
+    lac = LAC(target=target, switch=found[0])
+    if not is_safe(ev.circuit, lac):
+        return None
+    return lac
+
+
+def circuit_search(
+    ev: CircuitEval,
+    ctx: EvalContext,
+    rng: random.Random,
+    num_paths: int = 3,
+) -> Optional[Circuit]:
+    """Produce a searched child circuit, or ``None`` if no move exists."""
+    lac = propose_search_lac(ev, ctx, rng, num_paths)
+    if lac is None:
+        return None
+    return applied_copy(ev.circuit, lac)
+
+
+def circuit_simplify(
+    ev: CircuitEval,
+    ctx: EvalContext,
+    rng: random.Random,
+    num_paths: int = 3,
+) -> Optional[Circuit]:
+    """Gate-simplification variant of searching (extension, see
+    :mod:`repro.core.simplify`): rewrite a random critical-path gate in
+    place with a cheaper cell instead of substituting its output."""
+    from .simplify import propose_simplification, simplified_copy
+
+    targets = collect_targets(ev, rng, num_paths)
+    if not targets:
+        return None
+    target = targets[rng.randrange(len(targets))]
+    simp = propose_simplification(
+        ev.circuit, ev.values, target, ctx.vectors.num_vectors, rng
+    )
+    if simp is None:
+        return None
+    return simplified_copy(ev.circuit, simp)

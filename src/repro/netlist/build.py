@@ -1,0 +1,205 @@
+"""Convenience builder for constructing circuits from library gates.
+
+Benchmark generators assemble netlists with word-level helpers; this
+builder keeps them readable: ``b.gate("XOR2", a, b)`` adds a gate and
+returns its ID, and the arithmetic helpers (:meth:`full_adder`,
+:meth:`ripple_adder`, ...) compose the standard bit-slice structures used
+across the suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..cells import FUNCTIONS, cell_name
+from .circuit import CONST0, CONST1, Circuit
+
+
+class CircuitBuilder:
+    """Incrementally build a :class:`Circuit` against a cell library.
+
+    Gates are instantiated at drive D1 (the synthesis default); the
+    post-optimization resizer adjusts drives later, as in the paper.
+    """
+
+    def __init__(self, name: str = "top", drive: int = 1):
+        self.circuit = Circuit(name)
+        self.drive = drive
+
+    # -- primitives ----------------------------------------------------
+    @property
+    def const0(self) -> int:
+        """The constant-0 fan-in ID."""
+        return CONST0
+
+    @property
+    def const1(self) -> int:
+        """The constant-1 fan-in ID."""
+        return CONST1
+
+    def pi(self, name: Optional[str] = None) -> int:
+        """Add one primary input."""
+        return self.circuit.add_pi(name)
+
+    def pis(self, count: int, prefix: str = "x") -> List[int]:
+        """Add ``count`` primary inputs named ``prefix0..``, LSB first."""
+        return [self.pi(f"{prefix}{i}") for i in range(count)]
+
+    def po(self, signal: int, name: Optional[str] = None) -> int:
+        """Expose ``signal`` as a primary output."""
+        return self.circuit.add_po(signal, name)
+
+    def pos(self, signals: Sequence[int], prefix: str = "y") -> List[int]:
+        """Expose ``signals`` as primary outputs, LSB first."""
+        return [self.po(s, f"{prefix}{i}") for i, s in enumerate(signals)]
+
+    def gate(self, function: str, *fanins: int, drive: Optional[int] = None) -> int:
+        """Instantiate ``function`` on ``fanins`` and return the new ID."""
+        fn = FUNCTIONS[function]
+        if len(fanins) != fn.arity:
+            raise ValueError(
+                f"{function} expects {fn.arity} fan-ins, got {len(fanins)}"
+            )
+        d = self.drive if drive is None else drive
+        return self.circuit.add_gate(cell_name(function, d), fanins)
+
+    # -- common single-output shorthands --------------------------------
+    def inv(self, a: int) -> int:
+        """Inverter shorthand."""
+        return self.gate("INV", a)
+
+    def and2(self, a: int, b: int) -> int:
+        """2-input AND shorthand."""
+        return self.gate("AND2", a, b)
+
+    def or2(self, a: int, b: int) -> int:
+        """2-input OR shorthand."""
+        return self.gate("OR2", a, b)
+
+    def nand2(self, a: int, b: int) -> int:
+        """2-input NAND shorthand."""
+        return self.gate("NAND2", a, b)
+
+    def nor2(self, a: int, b: int) -> int:
+        """2-input NOR shorthand."""
+        return self.gate("NOR2", a, b)
+
+    def xor2(self, a: int, b: int) -> int:
+        """2-input XOR shorthand."""
+        return self.gate("XOR2", a, b)
+
+    def xnor2(self, a: int, b: int) -> int:
+        """2-input XNOR shorthand."""
+        return self.gate("XNOR2", a, b)
+
+    def mux2(self, d0: int, d1: int, sel: int) -> int:
+        """2:1 multiplexer: returns ``d1`` when ``sel`` is 1, else ``d0``."""
+        return self.gate("MUX2", d0, d1, sel)
+
+    # -- word-level helpers ---------------------------------------------
+    def reduce_tree(self, function: str, signals: Sequence[int]) -> int:
+        """Balanced reduction tree (AND2/OR2/XOR2) over ``signals``."""
+        sigs = list(signals)
+        if not sigs:
+            raise ValueError("cannot reduce an empty signal list")
+        while len(sigs) > 1:
+            nxt: List[int] = []
+            for i in range(0, len(sigs) - 1, 2):
+                nxt.append(self.gate(function, sigs[i], sigs[i + 1]))
+            if len(sigs) % 2:
+                nxt.append(sigs[-1])
+            sigs = nxt
+        return sigs[0]
+
+    def half_adder(self, a: int, b: int) -> Tuple[int, int]:
+        """Return ``(sum, carry)`` for one half-adder bit slice."""
+        return self.xor2(a, b), self.and2(a, b)
+
+    def full_adder(self, a: int, b: int, cin: int) -> Tuple[int, int]:
+        """Return ``(sum, carry)``; carry uses a MAJ3 cell like a mapped FA."""
+        s = self.gate("XOR3", a, b, cin)
+        c = self.gate("MAJ3", a, b, cin)
+        return s, c
+
+    def ripple_adder(
+        self,
+        a: Sequence[int],
+        b: Sequence[int],
+        cin: Optional[int] = None,
+    ) -> Tuple[List[int], int]:
+        """Ripple-carry add two LSB-first words; returns ``(sums, cout)``."""
+        if len(a) != len(b):
+            raise ValueError("operand widths differ")
+        carry = cin if cin is not None else CONST0
+        sums: List[int] = []
+        for ai, bi in zip(a, b):
+            if carry == CONST0:
+                s, carry = self.half_adder(ai, bi)
+            else:
+                s, carry = self.full_adder(ai, bi, carry)
+            sums.append(s)
+        return sums, carry
+
+    def subtractor(
+        self, a: Sequence[int], b: Sequence[int]
+    ) -> Tuple[List[int], int]:
+        """Compute ``a - b`` via two's complement; returns ``(diff, borrow_n)``.
+
+        The returned carry-out is 1 when ``a >= b`` (no borrow).
+        """
+        nb = [self.inv(bi) for bi in b]
+        return self.ripple_adder(a, nb, cin=CONST1)
+
+    def equal(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """Word equality comparator."""
+        bits = [self.xnor2(ai, bi) for ai, bi in zip(a, b)]
+        return self.reduce_tree("AND2", bits)
+
+    def greater_than(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """Unsigned ``a > b`` ripple comparator (LSB-first words).
+
+        Linear depth; matches what area-driven synthesis emits.  Use
+        :meth:`greater_than_tree` for the log-depth variant a
+        timing-driven run produces.
+        """
+        gt = self.and2(a[0], self.inv(b[0]))
+        for ai, bi in zip(a[1:], b[1:]):
+            bit_gt = self.and2(ai, self.inv(bi))
+            bit_eq = self.xnor2(ai, bi)
+            gt = self.or2(bit_gt, self.and2(bit_eq, gt))
+        return gt
+
+    def _gt_eq_tree(
+        self, a: Sequence[int], b: Sequence[int]
+    ) -> Tuple[int, int]:
+        if len(a) == 1:
+            return (
+                self.and2(a[0], self.inv(b[0])),
+                self.xnor2(a[0], b[0]),
+            )
+        mid = len(a) // 2
+        gt_lo, eq_lo = self._gt_eq_tree(a[:mid], b[:mid])
+        gt_hi, eq_hi = self._gt_eq_tree(a[mid:], b[mid:])
+        gt = self.or2(gt_hi, self.and2(eq_hi, gt_lo))
+        eq = self.and2(eq_hi, eq_lo)
+        return gt, eq
+
+    def greater_than_tree(
+        self, a: Sequence[int], b: Sequence[int]
+    ) -> int:
+        """Unsigned ``a > b`` comparator with logarithmic depth."""
+        if len(a) != len(b):
+            raise ValueError("operand widths differ")
+        return self._gt_eq_tree(a, b)[0]
+
+    def mux_word(
+        self, d0: Sequence[int], d1: Sequence[int], sel: int
+    ) -> List[int]:
+        """Word-level 2:1 mux."""
+        if len(d0) != len(d1):
+            raise ValueError("mux operand widths differ")
+        return [self.mux2(a, b, sel) for a, b in zip(d0, d1)]
+
+    def done(self) -> Circuit:
+        """Finish and return the built circuit."""
+        return self.circuit

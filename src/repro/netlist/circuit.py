@@ -1,0 +1,321 @@
+"""Gate fan-in adjacency circuit representation (paper §III-A, Fig. 3).
+
+The paper stores circuits purely as *gate fan-in adjacency lists*: every
+gate has a unique integer ID and a tuple of fan-in IDs; wire names are
+discarded.  Local approximate changes (LACs) then become trivial fan-in
+rewrites.  This module implements that representation:
+
+* Primary inputs are gates with the pseudo-cell ``"PI"`` and empty fan-in.
+* Primary outputs are gates with the pseudo-cell ``"PO"`` and exactly one
+  fan-in (the paper's Fig. 3 lists POs such as ``15: (12)`` the same way).
+* Constants are the reserved IDs :data:`CONST0` / :data:`CONST1`; they may
+  appear inside fan-in tuples but own no gate record (the paper treats
+  constant '0'/'1' as switch gates).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Reserved fan-in ID for the constant logic value '0'.
+CONST0 = -1
+#: Reserved fan-in ID for the constant logic value '1'.
+CONST1 = -2
+
+#: Pseudo-cell names that carry no library cell.
+PI_CELL = "PI"
+PO_CELL = "PO"
+
+
+def is_const(gid: int) -> bool:
+    """True for the reserved constant IDs."""
+    return gid == CONST0 or gid == CONST1
+
+
+class Circuit:
+    """A combinational gate-level netlist as fan-in adjacency lists.
+
+    The structure is deliberately close to the paper's Fig. 3: the whole
+    circuit is ``{gate_id: (fanin ids...)}`` plus a cell name per gate.
+    Instances are mutable (LACs rewrite fan-ins in place); use
+    :meth:`copy` to fork population members.
+    """
+
+    def __init__(self, name: str = "top"):
+        self.name = name
+        self.fanins: Dict[int, Tuple[int, ...]] = {}
+        self.cells: Dict[int, str] = {}
+        self.pi_ids: List[int] = []
+        self.po_ids: List[int] = []
+        self.pi_names: Dict[int, str] = {}
+        self.po_names: Dict[int, str] = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _alloc(self) -> int:
+        gid = self._next_id
+        self._next_id += 1
+        return gid
+
+    def add_pi(self, name: Optional[str] = None) -> int:
+        """Add a primary input and return its gate ID."""
+        gid = self._alloc()
+        self.fanins[gid] = ()
+        self.cells[gid] = PI_CELL
+        self.pi_ids.append(gid)
+        self.pi_names[gid] = name if name is not None else f"pi{len(self.pi_ids)}"
+        return gid
+
+    def add_gate(self, cell: str, fanins: Sequence[int]) -> int:
+        """Add a logic gate instantiating library cell ``cell``."""
+        for fi in fanins:
+            if not is_const(fi) and fi not in self.fanins:
+                raise KeyError(f"fan-in {fi} does not exist")
+        gid = self._alloc()
+        self.fanins[gid] = tuple(fanins)
+        self.cells[gid] = cell
+        return gid
+
+    def add_po(self, driver: int, name: Optional[str] = None) -> int:
+        """Add a primary output driven by gate ``driver``; returns PO ID."""
+        if not is_const(driver) and driver not in self.fanins:
+            raise KeyError(f"PO driver {driver} does not exist")
+        gid = self._alloc()
+        self.fanins[gid] = (driver,)
+        self.cells[gid] = PO_CELL
+        self.po_ids.append(gid)
+        self.po_names[gid] = name if name is not None else f"po{len(self.po_ids)}"
+        return gid
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    def is_pi(self, gid: int) -> bool:
+        """True when ``gid`` is a primary-input pseudo-gate."""
+        return self.cells.get(gid) == PI_CELL
+
+    def is_po(self, gid: int) -> bool:
+        """True when ``gid`` is a primary-output pseudo-gate."""
+        return self.cells.get(gid) == PO_CELL
+
+    def is_logic(self, gid: int) -> bool:
+        """True for real library gates (not PI/PO pseudo-cells/constants)."""
+        cell = self.cells.get(gid)
+        return cell is not None and cell != PI_CELL and cell != PO_CELL
+
+    # ------------------------------------------------------------------
+    # size / iteration
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.fanins)
+
+    def gate_ids(self) -> Iterator[int]:
+        """All gate IDs including PI/PO pseudo-gates."""
+        return iter(self.fanins)
+
+    def logic_ids(self) -> List[int]:
+        """IDs of real library gates only."""
+        return [g for g in self.fanins if self.is_logic(g)]
+
+    @property
+    def num_gates(self) -> int:
+        """Library-gate count (what Table I's ``#gate`` column reports)."""
+        return sum(1 for g in self.fanins if self.is_logic(g))
+
+    # ------------------------------------------------------------------
+    # graph queries
+    # ------------------------------------------------------------------
+    def fanouts(self) -> Dict[int, List[int]]:
+        """Map each gate to the gates that consume its output.
+
+        Constants are included as keys when referenced.
+        """
+        out: Dict[int, List[int]] = {gid: [] for gid in self.fanins}
+        for gid, fis in self.fanins.items():
+            for fi in fis:
+                if is_const(fi):
+                    out.setdefault(fi, []).append(gid)
+                else:
+                    out[fi].append(gid)
+        return out
+
+    def topological_order(self) -> List[int]:
+        """Gate IDs in topological order (fan-ins before fan-outs).
+
+        Raises :class:`CircuitLoopError` when the adjacency contains a
+        combinational loop — the violation the paper's integer-ID scheme
+        is designed to check for.
+        """
+        indeg: Dict[int, int] = {}
+        for gid, fis in self.fanins.items():
+            indeg[gid] = sum(1 for fi in fis if not is_const(fi))
+        ready = deque(sorted(g for g, d in indeg.items() if d == 0))
+        fanouts = self.fanouts()
+        order: List[int] = []
+        while ready:
+            gid = ready.popleft()
+            order.append(gid)
+            for fo in fanouts.get(gid, ()):
+                indeg[fo] -= 1
+                if indeg[fo] == 0:
+                    ready.append(fo)
+        if len(order) != len(self.fanins):
+            cyclic = sorted(g for g, d in indeg.items() if d > 0)
+            raise CircuitLoopError(
+                f"combinational loop through gates {cyclic[:8]}"
+                + ("..." if len(cyclic) > 8 else "")
+            )
+        return order
+
+    def transitive_fanin(self, gid: int, include_self: bool = False) -> Set[int]:
+        """The TFI cone of ``gid`` (constants excluded)."""
+        seen: Set[int] = set()
+        stack = [fi for fi in self.fanins.get(gid, ()) if not is_const(fi)]
+        while stack:
+            g = stack.pop()
+            if g in seen:
+                continue
+            seen.add(g)
+            stack.extend(fi for fi in self.fanins[g] if not is_const(fi))
+        if include_self:
+            seen.add(gid)
+        return seen
+
+    def transitive_fanout(self, gid: int, include_self: bool = False) -> Set[int]:
+        """The TFO cone of ``gid``."""
+        fanouts = self.fanouts()
+        seen: Set[int] = set()
+        stack = list(fanouts.get(gid, ()))
+        while stack:
+            g = stack.pop()
+            if g in seen:
+                continue
+            seen.add(g)
+            stack.extend(fanouts.get(g, ()))
+        if include_self:
+            seen.add(gid)
+        return seen
+
+    def live_gates(self) -> Set[int]:
+        """Gates reachable backwards from any PO (POs and PIs included)."""
+        seen: Set[int] = set()
+        stack = list(self.po_ids)
+        while stack:
+            g = stack.pop()
+            if g in seen or is_const(g):
+                continue
+            seen.add(g)
+            stack.extend(self.fanins[g])
+        return seen
+
+    def dangling_gates(self) -> Set[int]:
+        """Logic gates with no path to any PO (the paper's empty-TFO gates)."""
+        live = self.live_gates()
+        return {g for g in self.fanins if self.is_logic(g) and g not in live}
+
+    # ------------------------------------------------------------------
+    # area
+    # ------------------------------------------------------------------
+    def area(self, library, live_only: bool = True) -> float:
+        """Total cell area in µm².
+
+        With ``live_only`` (the default) dangling gates are excluded —
+        this is exactly how the paper computes ``Area_app``: the accurate
+        circuit's area minus the area of dangling gates.
+        """
+        gids: Iterable[int]
+        if live_only:
+            live = self.live_gates()
+            gids = (g for g in live if self.is_logic(g))
+        else:
+            gids = (g for g in self.fanins if self.is_logic(g))
+        return sum(library.cell(self.cells[g]).area for g in gids)
+
+    # ------------------------------------------------------------------
+    # mutation (the LAC substrate)
+    # ------------------------------------------------------------------
+    def substitute(self, target: int, switch: int) -> List[int]:
+        """Replace every fan-in occurrence of ``target`` with ``switch``.
+
+        This is the primitive both LACs build on: wire-by-wire uses an
+        existing gate as ``switch``, wire-by-constant uses ``CONST0`` /
+        ``CONST1``.  Returns the IDs of the rewritten consumer gates —
+        exactly the ``changed`` set an incremental resimulation needs.
+        The caller is responsible for picking a ``switch`` that cannot
+        create a loop (any gate outside ``target``'s TFO qualifies; the
+        paper picks from the TFI).
+        """
+        if target == switch:
+            raise ValueError("target and switch gates must differ")
+        if is_const(target):
+            raise ValueError("cannot substitute a constant")
+        rewritten: List[int] = []
+        for gid, fis in self.fanins.items():
+            if target in fis:
+                self.fanins[gid] = tuple(
+                    switch if fi == target else fi for fi in fis
+                )
+                rewritten.append(gid)
+        return rewritten
+
+    def set_fanins(self, gid: int, fanins: Sequence[int]) -> None:
+        """Directly overwrite one gate's fan-in tuple."""
+        if gid not in self.fanins:
+            raise KeyError(f"gate {gid} does not exist")
+        self.fanins[gid] = tuple(fanins)
+
+    def set_cell(self, gid: int, cell: str) -> None:
+        """Swap the library cell of a logic gate (used by the resizer)."""
+        if not self.is_logic(gid):
+            raise ValueError(f"gate {gid} is not a logic gate")
+        self.cells[gid] = cell
+
+    def remove_gate(self, gid: int) -> None:
+        """Delete a gate record.  The gate must be unreferenced."""
+        if gid in self.pi_names or gid in self.po_names:
+            raise ValueError("cannot remove a PI/PO")
+        del self.fanins[gid]
+        del self.cells[gid]
+
+    # ------------------------------------------------------------------
+    # copying / identity
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        """Deep-copy the adjacency (cheap: tuples are shared immutably)."""
+        c = Circuit(name if name is not None else self.name)
+        c.fanins = dict(self.fanins)
+        c.cells = dict(self.cells)
+        c.pi_ids = list(self.pi_ids)
+        c.po_ids = list(self.po_ids)
+        c.pi_names = dict(self.pi_names)
+        c.po_names = dict(self.po_names)
+        c._next_id = self._next_id
+        return c
+
+    def structure_key(self) -> int:
+        """Order-independent hash of the live structure.
+
+        Two circuits with identical live adjacency and cells hash equal;
+        used to deduplicate population members.
+        """
+        live = self.live_gates()
+        items = tuple(
+            sorted(
+                (gid, self.cells[gid], self.fanins[gid])
+                for gid in live
+            )
+        )
+        return hash(items)
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, gates={self.num_gates}, "
+            f"PI={len(self.pi_ids)}, PO={len(self.po_ids)})"
+        )
+
+
+class CircuitLoopError(ValueError):
+    """Raised when the fan-in adjacency contains a combinational cycle."""

@@ -1,0 +1,196 @@
+"""SCOAP testability analysis: controllability and observability.
+
+The Sandia Controllability/Observability Analysis Program metrics are
+the classic structural predictors of how hard a node is to set (CC0/CC1)
+and how hard a change at a node is to see at an output (CO).  For ALS
+they matter because a substitution on a *hard-to-observe* gate tends to
+introduce little output error — the structural counterpart of the
+simulated similarity the paper's searching operator uses.
+
+Instead of hand-coding per-gate SCOAP rules, controllability and
+sensitization costs are derived *generically* from each cell's truth
+table (via the library's ``bit_eval`` oracles), so every function in the
+library — including MUX2, AOI21, MAJ3 — is handled uniformly:
+
+* ``CC_v(gate) = 1 + min over input cubes forcing v of
+  sum(CC of each *specified* input at its required value)`` — cube
+  semantics reproduce the textbook rules (an AND output is 0 as soon as
+  any single input is 0, so CC0 = min input CC0 + 1)
+* ``CO(input i) = CO(gate) + 1 + min over assignments of the other pins
+  that make the output sensitive to pin i of their controllability sum``
+
+PIs have CC0 = CC1 = 1; POs have CO = 0; constants are free (CC = 0)
+and unobservable-through (they never change).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..cells import FUNCTIONS, split_cell_name
+from .circuit import CONST0, CONST1, Circuit, is_const
+
+#: Value used for unreachable/unobservable nodes.
+INFINITY = math.inf
+
+
+@dataclass(frozen=True)
+class TestabilityReport:
+    """SCOAP numbers for one circuit.
+
+    Attributes:
+        cc0: difficulty of driving each gate's output to 0.
+        cc1: difficulty of driving it to 1.
+        observability: difficulty of observing the gate at any PO
+            (``inf`` for dangling logic).
+    """
+
+    cc0: Dict[int, float]
+    cc1: Dict[int, float]
+    observability: Dict[int, float]
+
+    def controllability(self, gid: int, value: int) -> float:
+        """``CC0`` or ``CC1`` of one gate."""
+        return self.cc1[gid] if value else self.cc0[gid]
+
+    def hardest_to_observe(self, count: int = 5) -> List[int]:
+        """Live logic gates sorted by decreasing (finite) observability."""
+        finite = [
+            (co, gid)
+            for gid, co in self.observability.items()
+            if math.isfinite(co)
+        ]
+        finite.sort(key=lambda item: (-item[0], item[1]))
+        return [gid for _, gid in finite[:count]]
+
+
+def _cube_cost(
+    cube: Tuple[object, ...],
+    costs: List[Tuple[float, float]],
+) -> float:
+    """Controllability cost of one input cube (``None`` = don't-care)."""
+    total = 0.0
+    for bit, (c0, c1) in zip(cube, costs):
+        if bit is None:
+            continue
+        total += c1 if bit else c0
+    return total
+
+
+def _cube_forces(fn, cube: Tuple[object, ...]) -> int:
+    """Output value the cube forces, or -1 if the output still varies."""
+    free = [i for i, bit in enumerate(cube) if bit is None]
+    out = None
+    for completion in itertools.product((0, 1), repeat=len(free)):
+        assign = [0 if bit is None else bit for bit in cube]
+        for idx, bit in zip(free, completion):
+            assign[idx] = bit
+        value = fn.bit_eval(assign)
+        if out is None:
+            out = value
+        elif out != value:
+            return -1
+    return out
+
+
+def analyze_testability(circuit: Circuit) -> TestabilityReport:
+    """Compute SCOAP CC0/CC1/CO for every gate of ``circuit``."""
+    cc0: Dict[int, float] = {CONST0: 0.0, CONST1: INFINITY}
+    cc1: Dict[int, float] = {CONST0: INFINITY, CONST1: 0.0}
+
+    order = circuit.topological_order()
+    for gid in order:
+        if circuit.is_pi(gid):
+            cc0[gid] = 1.0
+            cc1[gid] = 1.0
+            continue
+        fis = circuit.fanins[gid]
+        if circuit.is_po(gid):
+            cc0[gid] = cc0[fis[0]]
+            cc1[gid] = cc1[fis[0]]
+            continue
+        fn = FUNCTIONS[split_cell_name(circuit.cells[gid])[0]]
+        costs = [(cc0[fi], cc1[fi]) for fi in fis]
+        best = [INFINITY, INFINITY]
+        for cube in itertools.product((0, 1, None), repeat=fn.arity):
+            out = _cube_forces(fn, cube)
+            if out < 0:
+                continue
+            cost = _cube_cost(cube, costs)
+            if cost == INFINITY:
+                continue  # requires an impossible constant value
+            if cost + 1.0 < best[out]:
+                best[out] = cost + 1.0
+        cc0[gid], cc1[gid] = best[0], best[1]
+
+    # Observability: backwards over the same order.
+    observability: Dict[int, float] = {
+        gid: INFINITY for gid in circuit.fanins
+    }
+    for po in circuit.po_ids:
+        observability[po] = 0.0
+    for gid in reversed(order):
+        co_gate = observability[gid]
+        if co_gate == INFINITY or circuit.is_pi(gid):
+            continue
+        fis = circuit.fanins[gid]
+        if circuit.is_po(gid):
+            src = fis[0]
+            if not is_const(src):
+                observability[src] = min(observability[src], co_gate)
+            continue
+        fn = FUNCTIONS[split_cell_name(circuit.cells[gid])[0]]
+        costs = [(cc0[fi], cc1[fi]) for fi in fis]
+        for i, fi in enumerate(fis):
+            if is_const(fi):
+                continue
+            # Minimal side-pin cost that sensitises the output to pin i.
+            best = INFINITY
+            others = [j for j in range(fn.arity) if j != i]
+            for bits in itertools.product((0, 1), repeat=len(others)):
+                assign = [0] * fn.arity
+                for j, b in zip(others, bits):
+                    assign[j] = b
+                assign[i] = 0
+                out0 = fn.bit_eval(assign)
+                assign[i] = 1
+                out1 = fn.bit_eval(assign)
+                if out0 == out1:
+                    continue  # pin i not sensitised by this side input
+                cost = sum(
+                    (costs[j][1] if b else costs[j][0])
+                    for j, b in zip(others, bits)
+                )
+                best = min(best, cost)
+            if best == INFINITY:
+                continue
+            candidate = co_gate + best + 1.0
+            if candidate < observability[fi]:
+                observability[fi] = candidate
+    return TestabilityReport(
+        cc0=cc0, cc1=cc1, observability=observability
+    )
+
+
+def rank_targets_by_observability(
+    circuit: Circuit,
+    report: TestabilityReport,
+    candidates: List[int],
+) -> List[int]:
+    """Order LAC targets hardest-to-observe first.
+
+    A substitution on a high-CO (hard to observe) gate is structurally
+    predicted to introduce less output error — useful as a cheap prior
+    before spending simulation on exact similarity.
+    """
+    def key(gid: int) -> Tuple[float, int]:
+        co = report.observability.get(gid, INFINITY)
+        finite = co if math.isfinite(co) else 1e18
+        return (-finite, gid)
+
+    return sorted(
+        (g for g in candidates if circuit.is_logic(g)), key=key
+    )

@@ -1,0 +1,87 @@
+"""Structural validation of fan-in adjacency circuits.
+
+The optimizer mutates adjacency lists aggressively (LACs, reproduction,
+dangling removal); :func:`validate` is the invariant checker run by tests
+and optionally after every mutation in paranoid mode.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cells import FUNCTIONS, split_cell_name
+from .circuit import PI_CELL, PO_CELL, Circuit, CircuitLoopError, is_const
+
+
+class ValidationError(ValueError):
+    """Raised when a circuit violates a structural invariant."""
+
+
+def validate(circuit: Circuit, library=None) -> None:
+    """Check all structural invariants; raises :class:`ValidationError`.
+
+    Checked invariants:
+
+    * every fan-in refers to an existing gate or a constant;
+    * PIs have no fan-ins, POs have exactly one;
+    * logic gates instantiate a known function with matching arity
+      (and a cell present in ``library`` when one is given);
+    * the adjacency is acyclic;
+    * PI/PO bookkeeping lists agree with the cell map.
+    """
+    problems: List[str] = []
+    for gid, fis in circuit.fanins.items():
+        cell = circuit.cells.get(gid)
+        if cell is None:
+            problems.append(f"gate {gid} has no cell")
+            continue
+        for fi in fis:
+            if not is_const(fi) and fi not in circuit.fanins:
+                problems.append(f"gate {gid} references missing fan-in {fi}")
+        if cell == PI_CELL:
+            if fis:
+                problems.append(f"PI {gid} has fan-ins {fis}")
+            if gid not in circuit.pi_names:
+                problems.append(f"PI {gid} missing from pi bookkeeping")
+        elif cell == PO_CELL:
+            if len(fis) != 1:
+                problems.append(f"PO {gid} has {len(fis)} fan-ins")
+            if gid not in circuit.po_names:
+                problems.append(f"PO {gid} missing from po bookkeeping")
+        else:
+            try:
+                function, drive = split_cell_name(cell)
+            except ValueError:
+                problems.append(f"gate {gid} has malformed cell name {cell!r}")
+                continue
+            fn = FUNCTIONS.get(function)
+            if fn is None:
+                problems.append(f"gate {gid} uses unknown function {function!r}")
+            elif len(fis) != fn.arity:
+                problems.append(
+                    f"gate {gid} ({cell}) has {len(fis)} fan-ins, "
+                    f"needs {fn.arity}"
+                )
+            if library is not None and cell not in library:
+                problems.append(f"gate {gid} cell {cell!r} not in library")
+    for pid in circuit.pi_ids:
+        if circuit.cells.get(pid) != PI_CELL:
+            problems.append(f"pi_ids entry {pid} is not a PI")
+    for pid in circuit.po_ids:
+        if circuit.cells.get(pid) != PO_CELL:
+            problems.append(f"po_ids entry {pid} is not a PO")
+    if problems:
+        raise ValidationError("; ".join(problems[:10]))
+    try:
+        circuit.topological_order()
+    except CircuitLoopError as exc:
+        raise ValidationError(str(exc)) from exc
+
+
+def is_valid(circuit: Circuit, library=None) -> bool:
+    """Boolean twin of :func:`validate`."""
+    try:
+        validate(circuit, library)
+    except ValidationError:
+        return False
+    return True

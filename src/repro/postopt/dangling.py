@@ -1,0 +1,20 @@
+"""Dangling-gate deletion step of post-optimization (paper §III-C).
+
+A thin, documented wrapper over the netlist transform so the post-opt
+package mirrors the paper's two-step structure (delete dangling gates,
+then resize the remainder).
+"""
+
+from __future__ import annotations
+
+from ..netlist import Circuit, remove_dangling
+
+
+def delete_dangling_gates(circuit: Circuit) -> int:
+    """Remove every gate with an empty transitive fan-out, in place.
+
+    Returns the number of gates deleted.  Equivalent to the paper's
+    iterative traversal: deleting a gate with empty TFO can empty the TFO
+    of its fan-ins, which are then deleted too, until a fixed point.
+    """
+    return remove_dangling(circuit)

@@ -1,0 +1,97 @@
+"""Text rendering of the paper's tables and figure series.
+
+The benchmark harness prints the same rows the paper reports; these
+helpers keep the formatting consistent between benches and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence
+
+
+@dataclass
+class ComparisonRow:
+    """One benchmark row of a Table II/III-style comparison."""
+
+    circuit: str
+    area_con: float
+    ratios: Dict[str, float] = field(default_factory=dict)
+    runtimes: Dict[str, float] = field(default_factory=dict)
+
+
+def format_comparison_table(
+    title: str,
+    rows: Sequence[ComparisonRow],
+    methods: Sequence[str],
+) -> str:
+    """Render a Table II/III-style grid with per-method Ratio/runtime."""
+    header = f"{'Circuit':<12}{'Area_con':>10}"
+    for m in methods:
+        header += f"{m + ' Ratio':>16}{'t(s)':>9}"
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for row in rows:
+        line = f"{row.circuit:<12}{row.area_con:>10.2f}"
+        for m in methods:
+            ratio = row.ratios.get(m)
+            runtime = row.runtimes.get(m)
+            line += (
+                f"{ratio:>16.4f}" if ratio is not None else f"{'-':>16}"
+            )
+            line += (
+                f"{runtime:>9.2f}" if runtime is not None else f"{'-':>9}"
+            )
+        lines.append(line)
+    if rows:
+        lines.append("-" * len(header))
+        avg = f"{'Average':<12}{_mean([r.area_con for r in rows]):>10.2f}"
+        for m in methods:
+            ratios = [r.ratios[m] for r in rows if m in r.ratios]
+            times = [r.runtimes[m] for r in rows if m in r.runtimes]
+            avg += f"{_mean(ratios):>16.4f}" if ratios else f"{'-':>16}"
+            avg += f"{_mean(times):>9.2f}" if times else f"{'-':>9}"
+        lines.append(avg)
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    y_format: str = "{:.4f}",
+) -> str:
+    """Render a figure as a column-per-x text table (one row per method)."""
+    width = max(10, max((len(str(x)) + 2 for x in xs), default=10))
+    header = f"{x_label:<14}" + "".join(f"{x:>{width}}" for x in xs)
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for name, values in series.items():
+        line = f"{name:<14}"
+        for v in values:
+            line += f"{y_format.format(v):>{width}}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_stats_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render Table I-style benchmark statistics.
+
+    Each row needs: name, type, gates, pi, po, cpd, area, description,
+    plus optional paper_* columns for side-by-side comparison.
+    """
+    header = (
+        f"{'Circuit':<12}{'Type':<16}{'#gate':>7}{'#PI/PO':>10}"
+        f"{'CPD(ps)':>10}{'Area(um2)':>11}  {'Description'}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['name']:<12}{r['type']:<16}{r['gates']:>7}"
+            f"{str(r['pi']) + '/' + str(r['po']):>10}"
+            f"{r['cpd']:>10.2f}{r['area']:>11.2f}  {r['description']}"
+        )
+    return "\n".join(lines)
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

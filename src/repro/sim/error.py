@@ -1,0 +1,151 @@
+"""Error metrics: error rate (ER) and normalized mean error distance (NMED).
+
+Implements the paper's Eq. (1) and Eq. (2) over Monte-Carlo vector batches:
+ER for random/control circuits, NMED for arithmetic circuits whose PO
+vector encodes an unsigned binary number (LSB-first in ``po_ids`` order).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..netlist import Circuit
+from .bitsim import ValueMap, po_words
+from .vectors import VectorSet, count_ones
+
+
+class ErrorMode(enum.Enum):
+    """Which metric constrains the optimization (paper §II-A)."""
+
+    ER = "er"
+    NMED = "nmed"
+
+
+def _unpack_bits(row: np.ndarray, num_vectors: int) -> np.ndarray:
+    """Unpack one uint64 row to a 0/1 uint8 array of length num_vectors."""
+    bits = np.unpackbits(row.view(np.uint8), bitorder="little")
+    return bits[:num_vectors]
+
+
+def error_rate(
+    ref: np.ndarray, app: np.ndarray, num_vectors: int
+) -> float:
+    """Eq. (1): probability that any PO differs between ref and app.
+
+    ``ref``/``app`` are ``(num_pos, num_words)`` packed PO matrices.
+    """
+    if ref.shape != app.shape:
+        raise ValueError("PO matrices must have identical shape")
+    diff = ref[0] ^ app[0]
+    for i in range(1, ref.shape[0]):
+        diff = diff | (ref[i] ^ app[i])
+    return count_ones(diff, num_vectors) / num_vectors
+
+
+def per_po_error_rate(
+    ref: np.ndarray, app: np.ndarray, num_vectors: int
+) -> List[float]:
+    """Per-output flip probability, used by the Level function (Eq. 3)."""
+    return [
+        count_ones(ref[i] ^ app[i], num_vectors) / num_vectors
+        for i in range(ref.shape[0])
+    ]
+
+
+def mean_error_distance(
+    ref: np.ndarray, app: np.ndarray, num_vectors: int
+) -> float:
+    """Unnormalized mean |V_ori - V_app| with LSB-first PO weighting."""
+    num_pos = ref.shape[0]
+    acc = np.zeros(num_vectors, dtype=np.float64)
+    for i in range(num_pos):
+        rbits = _unpack_bits(ref[i], num_vectors).astype(np.float64)
+        abits = _unpack_bits(app[i], num_vectors).astype(np.float64)
+        acc += (rbits - abits) * float(2**i)
+    return float(np.abs(acc).mean())
+
+
+def nmed(ref: np.ndarray, app: np.ndarray, num_vectors: int) -> float:
+    """Eq. (2): mean error distance normalized by the max output value.
+
+    Accumulated in the normalized domain so 128-bit outputs stay within
+    float64 range; precision ~1e-16 is far below the 1e-3-class NMED
+    constraints the paper sweeps.
+    """
+    num_pos = ref.shape[0]
+    denom = float(2**num_pos - 1)
+    acc = np.zeros(num_vectors, dtype=np.float64)
+    for i in range(num_pos):
+        rbits = _unpack_bits(ref[i], num_vectors).astype(np.float64)
+        abits = _unpack_bits(app[i], num_vectors).astype(np.float64)
+        acc += (rbits - abits) * (float(2**i) / denom)
+    return float(np.abs(acc).mean())
+
+
+def measure_error(
+    mode: ErrorMode, ref: np.ndarray, app: np.ndarray, num_vectors: int
+) -> float:
+    """Dispatch to ER or NMED according to ``mode``."""
+    if mode is ErrorMode.ER:
+        return error_rate(ref, app, num_vectors)
+    return nmed(ref, app, num_vectors)
+
+
+def per_po_error(
+    mode: ErrorMode, ref: np.ndarray, app: np.ndarray, num_vectors: int
+) -> List[float]:
+    """Per-PO error used in the reproduction Level function.
+
+    In ER mode this is the per-output flip rate.  In NMED mode each
+    output's flip rate is weighted by its significance ``2^i / (2^n-1)``
+    so high-order bits register as larger errors, matching how they
+    contribute to error distance.
+    """
+    rates = per_po_error_rate(ref, app, num_vectors)
+    if mode is ErrorMode.ER:
+        return rates
+    num_pos = ref.shape[0]
+    denom = float(2**num_pos - 1)
+    return [r * (float(2**i) / denom) for i, r in enumerate(rates)]
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Bundle of every metric for one approximate circuit."""
+
+    mode: ErrorMode
+    value: float
+    error_rate: float
+    nmed: float
+    per_po: List[float]
+
+
+def error_report(
+    mode: ErrorMode,
+    circuit_ref: Circuit,
+    values_ref: ValueMap,
+    circuit_app: Circuit,
+    values_app: ValueMap,
+    vectors: VectorSet,
+) -> ErrorReport:
+    """Full error report between two simulated circuits.
+
+    The circuits must expose the same number of POs in the same order.
+    """
+    ref = po_words(circuit_ref, values_ref)
+    app = po_words(circuit_app, values_app)
+    if ref.shape != app.shape:
+        raise ValueError("circuits have different PO counts")
+    er = error_rate(ref, app, vectors.num_vectors)
+    nm = nmed(ref, app, vectors.num_vectors)
+    return ErrorReport(
+        mode=mode,
+        value=er if mode is ErrorMode.ER else nm,
+        error_rate=er,
+        nmed=nm,
+        per_po=per_po_error(mode, ref, app, vectors.num_vectors),
+    )

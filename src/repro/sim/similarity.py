@@ -1,0 +1,77 @@
+"""Output-similarity queries used to pick LAC switch gates.
+
+The paper limits introduced error by choosing, for a target gate, the
+switch signal whose simulated output agrees with the target's on the
+largest fraction of cycles — searched over the target's transitive fan-in
+plus the constants '0' and '1' (§III-B, circuit searching).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..netlist import CONST0, CONST1, Circuit
+from .bitsim import ValueMap
+from .vectors import count_ones
+
+
+def similarity(
+    values: ValueMap, a: int, b: int, num_vectors: int
+) -> float:
+    """Fraction of vectors on which gates ``a`` and ``b`` agree."""
+    return 1.0 - count_ones(values[a] ^ values[b], num_vectors) / num_vectors
+
+
+def constant_similarities(
+    values: ValueMap, gid: int, num_vectors: int
+) -> Tuple[float, float]:
+    """``(sim_to_0, sim_to_1)`` of one gate's output."""
+    ones = count_ones(values[gid], num_vectors)
+    frac1 = ones / num_vectors
+    return 1.0 - frac1, frac1
+
+
+def rank_switches(
+    circuit: Circuit,
+    values: ValueMap,
+    target: int,
+    num_vectors: int,
+    include_constants: bool = True,
+    candidates: Optional[Iterable[int]] = None,
+) -> List[Tuple[int, float]]:
+    """Rank admissible switch gates for ``target`` by similarity, best first.
+
+    Candidates default to the target's transitive fan-in (which guarantees
+    the substitution cannot create a combinational loop) plus constants.
+    Ties break on smaller |gate id| for determinism.
+    """
+    if candidates is None:
+        candidates = circuit.transitive_fanin(target)
+    scored: List[Tuple[int, float]] = []
+    for cand in candidates:
+        if cand == target or circuit.is_po(cand):
+            continue
+        scored.append((cand, similarity(values, cand, target, num_vectors)))
+    if include_constants:
+        sim0, sim1 = constant_similarities(values, target, num_vectors)
+        scored.append((CONST0, sim0))
+        scored.append((CONST1, sim1))
+    scored.sort(key=lambda item: (-item[1], abs(item[0])))
+    return scored
+
+
+def best_switch(
+    circuit: Circuit,
+    values: ValueMap,
+    target: int,
+    num_vectors: int,
+    include_constants: bool = True,
+) -> Optional[Tuple[int, float]]:
+    """The highest-similarity switch for ``target``, or ``None`` if none.
+
+    PIs without fan-in still have the two constants as candidates.
+    """
+    ranked = rank_switches(
+        circuit, values, target, num_vectors, include_constants
+    )
+    return ranked[0] if ranked else None

@@ -1,0 +1,31 @@
+"""Static timing analysis substrate (PrimeTime substitute)."""
+
+from .analyzer import STAEngine, TimingReport
+from .paths import (
+    critical_paths,
+    path_delay,
+    path_logic_gates,
+    po_arrivals,
+    slack_profile,
+    worst_endpoints,
+)
+from .incremental import update_timing
+from .power import PowerReport, estimate_power, toggle_rate
+from .report import format_path, format_summary
+
+__all__ = [
+    "update_timing",
+    "PowerReport",
+    "estimate_power",
+    "toggle_rate",
+    "STAEngine",
+    "TimingReport",
+    "critical_paths",
+    "path_delay",
+    "path_logic_gates",
+    "po_arrivals",
+    "slack_profile",
+    "worst_endpoints",
+    "format_path",
+    "format_summary",
+]

@@ -1,0 +1,170 @@
+"""Static timing analysis over fan-in adjacency circuits.
+
+Plays the role PrimeTime plays in the paper: given a mapped netlist and
+the cell library, propagate arrival times and slews in topological order
+using the NLDM tables, with capacitive loading computed from fan-out pin
+capacitances plus a wire-load estimate.  Produces per-PO arrival times
+(``Ta`` in Eq. 3), the critical-path delay (CPD), unit logic depth, and
+critical-path backtraces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..cells import Library
+from ..netlist import Circuit, is_const
+
+
+@dataclass
+class TimingReport:
+    """Results of one STA run.
+
+    Attributes:
+        arrival: worst output arrival time per gate (ps).
+        slew: output transition per gate (ps).
+        load: capacitive load per gate output (fF).
+        unit_depth: logic depth per gate (PIs at 0, each gate +1).
+        critical_fanin: the fan-in realising each gate's worst arrival,
+            used for path backtraces.
+    """
+
+    circuit: Circuit
+    arrival: Dict[int, float]
+    slew: Dict[int, float]
+    load: Dict[int, float]
+    unit_depth: Dict[int, int]
+    critical_fanin: Dict[int, Optional[int]]
+
+    @property
+    def cpd(self) -> float:
+        """Critical-path delay: the worst PO arrival time (ps)."""
+        if not self.circuit.po_ids:
+            raise ValueError("circuit has no POs")
+        return max(self.arrival[po] for po in self.circuit.po_ids)
+
+    @property
+    def max_unit_depth(self) -> int:
+        """Deepest PO in gate levels (the unit-delay depth metric)."""
+        return max(self.unit_depth[po] for po in self.circuit.po_ids)
+
+    def po_arrival(self, po_id: int) -> float:
+        """Maximum arrival time ``Ta`` at one PO (ps)."""
+        return self.arrival[po_id]
+
+    def worst_po(self) -> int:
+        """The PO with the largest arrival time."""
+        return max(self.circuit.po_ids, key=lambda po: (self.arrival[po], po))
+
+    def critical_path(self, po_id: Optional[int] = None) -> List[int]:
+        """Backtrace the worst path ending at ``po_id`` (default worst PO).
+
+        Returns gate IDs from the launching PI (or constant) to the PO.
+        """
+        gid = po_id if po_id is not None else self.worst_po()
+        path: List[int] = []
+        while gid is not None:
+            path.append(gid)
+            gid = self.critical_fanin.get(gid)
+        path.reverse()
+        return path
+
+
+class STAEngine:
+    """Topological arrival/slew propagation against a cell library.
+
+    Args:
+        library: the standard-cell library to read NLDM tables from.
+        input_slew: transition assumed at PIs and constants (ps).
+        po_load: external load on each PO in fF.
+        wire_cap_per_fanout: crude wire-load model, fF added to a gate's
+            load per fan-out connection.
+    """
+
+    def __init__(
+        self,
+        library: Library,
+        input_slew: float = 10.0,
+        po_load: float = 2.0,
+        wire_cap_per_fanout: float = 0.15,
+    ):
+        self.library = library
+        self.input_slew = input_slew
+        self.po_load = po_load
+        self.wire_cap_per_fanout = wire_cap_per_fanout
+
+    # ------------------------------------------------------------------
+    def compute_loads(self, circuit: Circuit) -> Dict[int, float]:
+        """Capacitive load on every gate output (fF)."""
+        loads: Dict[int, float] = {gid: 0.0 for gid in circuit.fanins}
+        for gid, fis in circuit.fanins.items():
+            if circuit.is_po(gid):
+                pin_cap = self.po_load
+            elif circuit.is_pi(gid):
+                continue
+            else:
+                pin_cap = self.library.cell(circuit.cells[gid]).input_cap
+            for fi in fis:
+                if is_const(fi):
+                    continue
+                loads[fi] += pin_cap + self.wire_cap_per_fanout
+        return loads
+
+    def analyze(self, circuit: Circuit) -> TimingReport:
+        """Run full STA and return a :class:`TimingReport`."""
+        loads = self.compute_loads(circuit)
+        arrival: Dict[int, float] = {}
+        slew: Dict[int, float] = {}
+        depth: Dict[int, int] = {}
+        critical_fanin: Dict[int, Optional[int]] = {}
+
+        def source_timing(gid: int) -> Tuple[float, float, int]:
+            if is_const(gid):
+                return 0.0, self.input_slew, 0
+            return arrival[gid], slew[gid], depth[gid]
+
+        for gid in circuit.topological_order():
+            if circuit.is_pi(gid):
+                arrival[gid] = 0.0
+                slew[gid] = self.input_slew
+                depth[gid] = 0
+                critical_fanin[gid] = None
+                continue
+            fis = circuit.fanins[gid]
+            if circuit.is_po(gid):
+                src = fis[0]
+                a, s, d = source_timing(src)
+                arrival[gid] = a
+                slew[gid] = s
+                depth[gid] = d
+                critical_fanin[gid] = None if is_const(src) else src
+                continue
+            cell = self.library.cell(circuit.cells[gid])
+            load = loads[gid]
+            best_arr = 0.0
+            best_slew = self.input_slew
+            best_src: Optional[int] = None
+            best_depth = 0
+            first = True
+            for fi in fis:
+                a, s, d = source_timing(fi)
+                arr = a + cell.delay(s, load)
+                if first or arr > best_arr:
+                    best_arr = arr
+                    best_slew = cell.output_slew(s, load)
+                    best_src = None if is_const(fi) else fi
+                    best_depth = d
+                    first = False
+            arrival[gid] = best_arr
+            slew[gid] = best_slew
+            depth[gid] = best_depth + 1
+            critical_fanin[gid] = best_src
+        return TimingReport(
+            circuit=circuit,
+            arrival=arrival,
+            slew=slew,
+            load=loads,
+            unit_depth=depth,
+            critical_fanin=critical_fanin,
+        )

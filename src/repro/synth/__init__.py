@@ -1,0 +1,19 @@
+"""Netlist cleanup passes (Design Compiler's logic-restructure role)."""
+
+from .passes import (
+    SynthStats,
+    merge_duplicates,
+    optimize_netlist,
+    propagate_constants,
+    remove_buffers,
+    sweep,
+)
+
+__all__ = [
+    "SynthStats",
+    "merge_duplicates",
+    "optimize_netlist",
+    "propagate_constants",
+    "remove_buffers",
+    "sweep",
+]

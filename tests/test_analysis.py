@@ -1,0 +1,114 @@
+"""Tests for post-run analysis: diffs, LAC recovery, fronts, convergence."""
+
+import pytest
+
+from repro.core import (
+    DCGWO,
+    DCGWOConfig,
+    EvalContext,
+    LAC,
+    applied_copy,
+    circuit_diff,
+    evaluate,
+    extract_lacs,
+    format_convergence,
+    format_diff,
+    format_pareto_front,
+    pareto_front,
+)
+from repro.netlist import CONST0
+from repro.sim import ErrorMode
+
+
+class TestCircuitDiff:
+    def test_identical_empty_diff(self, fig3):
+        assert circuit_diff(fig3, fig3.copy()) == []
+
+    def test_single_lac_diff(self, fig3):
+        child = applied_copy(fig3, LAC(8, CONST0))
+        diffs = circuit_diff(fig3, child)
+        assert len(diffs) == 1
+        d = diffs[0]
+        assert d.gate == 11
+        assert d.before == (5, 8)
+        assert d.after == (5, CONST0)
+        assert d.substitutions() == [(8, CONST0)]
+
+    def test_deleted_gate_reported(self, fig3):
+        child = applied_copy(fig3, LAC(8, CONST0))
+        from repro.netlist import remove_dangling
+
+        remove_dangling(child)
+        diffs = circuit_diff(fig3, child)
+        deleted = [d for d in diffs if d.after == ()]
+        assert any(d.gate == 8 for d in deleted)
+
+    def test_format_diff_text(self, fig3):
+        child = applied_copy(fig3, LAC(8, CONST0))
+        text = format_diff(fig3, child)
+        assert "U11" in text and "const0" in text
+        assert "identical" in format_diff(fig3, fig3.copy())
+
+
+class TestExtractLacs:
+    def test_recovers_applied_lac(self, fig3):
+        lac = LAC(8, CONST0)
+        child = applied_copy(fig3, lac)
+        recovered = extract_lacs(fig3, child)
+        assert recovered == [lac]
+
+    def test_multi_consumer_collapses(self, fig3):
+        lac = LAC(7, CONST0)  # gate 7 feeds gates 9 and 10
+        child = applied_copy(fig3, lac)
+        recovered = extract_lacs(fig3, child)
+        assert recovered == [lac]
+
+    def test_sequential_lacs(self, adder8):
+        c = adder8.copy()
+        ids = adder8.logic_ids()
+        lacs = [LAC(ids[2], CONST0), LAC(ids[10], CONST0)]
+        for lac in lacs:
+            c.substitute(lac.target, lac.switch)
+        recovered = extract_lacs(adder8, c)
+        assert set(recovered) == set(lacs)
+
+
+class TestFronts:
+    @pytest.fixture(scope="class")
+    def run(self, library):
+        from tests.conftest import build_adder
+
+        adder = build_adder(8)
+        ctx = EvalContext.build(
+            adder, library, ErrorMode.NMED, num_vectors=256, seed=4
+        )
+        cfg = DCGWOConfig(population_size=8, imax=4, seed=4)
+        return DCGWO(ctx, 0.03, cfg).optimize()
+
+    def test_front_members_nondominated(self, run):
+        front = pareto_front(run.population)
+        assert front
+        for a in front:
+            for b in run.population:
+                assert not (
+                    b.fd >= a.fd and b.fa >= a.fa
+                    and (b.fd > a.fd or b.fa > a.fa)
+                )
+
+    def test_front_sorted_by_fd(self, run):
+        front = pareto_front(run.population)
+        fds = [ev.fd for ev in front]
+        assert fds == sorted(fds, reverse=True)
+
+    def test_empty_population(self):
+        assert pareto_front([]) == []
+
+    def test_format_front(self, run):
+        text = format_pareto_front(run.population)
+        assert "fd" in text and "fitness" in text
+        assert len(text.splitlines()) >= 2
+
+    def test_format_convergence(self, run):
+        text = format_convergence(run)
+        assert "iter" in text
+        assert len(text.splitlines()) == len(run.history) + 1

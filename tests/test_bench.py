@@ -1,0 +1,404 @@
+"""Functional verification of every benchmark generator against oracles."""
+
+import math
+import random
+
+import pytest
+
+from repro.bench import (
+    ARITHMETIC_NAMES,
+    RANDOM_CONTROL_NAMES,
+    SUITE,
+    adder_comparator_circuit,
+    alu_circuit,
+    array_multiplier_circuit,
+    build_benchmark,
+    cordic_reference,
+    cordic_sine_circuit,
+    hamming_secded_circuit,
+    int2float_circuit,
+    int2float_reference,
+    max_2to1_circuit,
+    max_4to1_circuit,
+    random_control_circuit,
+    ripple_adder_circuit,
+    sqrt_circuit,
+    sqrt_reference,
+)
+from repro.netlist import validate
+from repro.sim import po_words, random_vectors, simulate
+from repro.sim.vectors import VectorSet
+
+import numpy as np
+
+
+def decode(circuit, values, num_vectors):
+    """Decode PO words into per-vector ints (LSB-first)."""
+    mat = po_words(circuit, values)
+    out = []
+    for k in range(num_vectors):
+        w, b = divmod(k, 64)
+        val = 0
+        for i in range(mat.shape[0]):
+            val |= ((int(mat[i, w]) >> b) & 1) << i
+        out.append(val)
+    return out
+
+
+def drive_with_ints(circuit, input_values, widths):
+    """Build a VectorSet from a list of per-vector operand tuples.
+
+    ``widths`` gives the bit-width of each operand; operands are packed
+    into PI order (operand 0's LSB first).
+    """
+    num_vectors = len(input_values)
+    num_words = (num_vectors + 63) // 64
+    total_bits = sum(widths)
+    words = np.zeros((total_bits, num_words), dtype=np.uint64)
+    for k, operands in enumerate(input_values):
+        w, b = divmod(k, 64)
+        row = 0
+        for value, width in zip(operands, widths):
+            for i in range(width):
+                if (value >> i) & 1:
+                    words[row + i, w] |= np.uint64(1 << b)
+            row += width
+    return VectorSet(words, num_vectors)
+
+
+class TestAdders:
+    @pytest.mark.parametrize("width", [2, 5, 8])
+    def test_adder_exact(self, width):
+        circuit = ripple_adder_circuit(width)
+        validate(circuit)
+        rng = random.Random(1)
+        cases = [
+            (rng.randrange(2**width), rng.randrange(2**width))
+            for _ in range(200)
+        ]
+        vecs = drive_with_ints(circuit, cases, [width, width])
+        outs = decode(circuit, simulate(circuit, vecs), len(cases))
+        for (a, b), got in zip(cases, outs):
+            assert got == a + b
+
+    def test_table_shapes(self):
+        adder = SUITE["Adder16"].build_paper()
+        assert len(adder.pi_ids) == 32 and len(adder.po_ids) == 17
+
+
+class TestMaxUnits:
+    def test_max2_exact(self):
+        width = 6
+        circuit = max_2to1_circuit(width)
+        validate(circuit)
+        rng = random.Random(2)
+        cases = [
+            (rng.randrange(2**width), rng.randrange(2**width))
+            for _ in range(200)
+        ]
+        vecs = drive_with_ints(circuit, cases, [width, width])
+        outs = decode(circuit, simulate(circuit, vecs), len(cases))
+        for (a, b), got in zip(cases, outs):
+            assert got == max(a, b)
+
+    def test_max4_exact(self):
+        width = 5
+        circuit = max_4to1_circuit(width)
+        validate(circuit)
+        rng = random.Random(3)
+        cases = [
+            tuple(rng.randrange(2**width) for _ in range(4))
+            for _ in range(150)
+        ]
+        vecs = drive_with_ints(circuit, cases, [width] * 4)
+        outs = decode(circuit, simulate(circuit, vecs), len(cases))
+        for ops, got in zip(cases, outs):
+            assert got == max(ops)
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("width", [3, 4, 6])
+    def test_multiplier_exact(self, width):
+        circuit = array_multiplier_circuit(width)
+        validate(circuit)
+        cases = [
+            (a, b) for a in range(2**width) for b in range(2**width)
+        ]
+        if len(cases) > 400:
+            cases = random.Random(4).sample(cases, 400)
+        vecs = drive_with_ints(circuit, cases, [width, width])
+        outs = decode(circuit, simulate(circuit, vecs), len(cases))
+        for (a, b), got in zip(cases, outs):
+            assert got == a * b, (a, b)
+
+    def test_c6288_shape(self):
+        circuit = SUITE["c6288"].build_paper()
+        assert len(circuit.pi_ids) == 32 and len(circuit.po_ids) == 32
+
+
+class TestALU:
+    def _alu_reference(self, a, b, op, width):
+        mask = (1 << width) - 1
+        ops = [
+            (a + b) & mask,
+            (a - b) & mask,
+            a & b,
+            a | b,
+            a ^ b,
+            (~(a & b)) & mask,
+            a,
+            (~a) & mask,
+        ]
+        return ops[op]
+
+    def test_alu_result_word(self):
+        width = 4
+        circuit = alu_circuit(width)
+        validate(circuit)
+        rng = random.Random(5)
+        cases = [
+            (rng.randrange(2**width), rng.randrange(2**width),
+             rng.randrange(8))
+            for _ in range(300)
+        ]
+        vecs = drive_with_ints(circuit, cases, [width, width, 3])
+        outs = decode(circuit, simulate(circuit, vecs), len(cases))
+        for (a, b, op), got in zip(cases, outs):
+            result = got & ((1 << width) - 1)
+            assert result == self._alu_reference(a, b, op, width), (a, b, op)
+            zero = (got >> (width + 1)) & 1
+            assert zero == (1 if result == 0 else 0)
+
+    def test_controller_variant_valid(self, library):
+        circuit = alu_circuit(
+            4, control_gates=50, control_pis=6, control_pos=4, seed=9
+        )
+        validate(circuit, library)
+
+
+class TestHamming:
+    def _encode(self, data16):
+        """Encode 16 data bits into the 22-bit extended Hamming codeword."""
+        positions = [p for p in range(1, 22) if p & (p - 1) != 0]
+        cw = {p: 0 for p in range(22)}
+        for bit, p in enumerate(positions):
+            cw[p] = (data16 >> bit) & 1
+        for j in range(5):
+            parity = 0
+            for p in range(1, 22):
+                if p & (1 << j) and p & (p - 1) != 0:
+                    parity ^= cw[p]
+            cw[1 << j] = parity
+        cw[0] = 0
+        for p in range(1, 22):
+            cw[0] ^= cw[p]
+        return cw
+
+    def _to_case(self, cw):
+        return tuple(cw[p] for p in range(22))
+
+    def test_no_error_passthrough(self):
+        circuit = hamming_secded_circuit()
+        validate(circuit)
+        rng = random.Random(6)
+        datas = [rng.randrange(2**16) for _ in range(100)]
+        cases = [self._to_case(self._encode(d)) for d in datas]
+        vecs = drive_with_ints(circuit, cases, [1] * 22)
+        outs = decode(circuit, simulate(circuit, vecs), len(cases))
+        for d, got in zip(datas, outs):
+            assert got & 0xFFFF == d
+            assert (got >> 16) & 1 == 0  # single_err
+            assert (got >> 17) & 1 == 0  # double_err
+
+    def test_single_error_corrected(self):
+        circuit = hamming_secded_circuit()
+        rng = random.Random(7)
+        cases, expect = [], []
+        for _ in range(100):
+            d = rng.randrange(2**16)
+            cw = self._encode(d)
+            flip = rng.randrange(22)
+            cw[flip] ^= 1
+            cases.append(self._to_case(cw))
+            expect.append(d)
+        vecs = drive_with_ints(circuit, cases, [1] * 22)
+        outs = decode(circuit, simulate(circuit, vecs), len(cases))
+        for d, got in zip(expect, outs):
+            assert got & 0xFFFF == d
+            assert (got >> 17) & 1 == 0  # not a double error
+
+    def test_double_error_detected(self):
+        circuit = hamming_secded_circuit()
+        rng = random.Random(8)
+        cases = []
+        for _ in range(100):
+            d = rng.randrange(2**16)
+            cw = self._encode(d)
+            i, j = rng.sample(range(1, 22), 2)
+            cw[i] ^= 1
+            cw[j] ^= 1
+            cases.append(self._to_case(cw))
+        vecs = drive_with_ints(circuit, cases, [1] * 22)
+        outs = decode(circuit, simulate(circuit, vecs), len(cases))
+        for got in outs:
+            assert (got >> 17) & 1 == 1  # double_err raised
+            assert (got >> 16) & 1 == 0
+
+
+class TestComparator:
+    def test_adder_comparator_exact(self):
+        width = 6
+        circuit = adder_comparator_circuit(width)
+        validate(circuit)
+        rng = random.Random(9)
+        cases = [
+            (rng.randrange(2**width), rng.randrange(2**width),
+             rng.randrange(2))
+            for _ in range(200)
+        ]
+        vecs = drive_with_ints(circuit, cases, [width, width, 1])
+        outs = decode(circuit, simulate(circuit, vecs), len(cases))
+        for (a, b, cin), got in zip(cases, outs):
+            total = a + b + cin
+            assert got & ((1 << (width + 1)) - 1) == total
+            gt = (got >> (width + 1)) & 1
+            eq = (got >> (width + 2)) & 1
+            lt = (got >> (width + 3)) & 1
+            assert (gt, eq, lt) == (
+                int(a > b), int(a == b), int(a < b)
+            )
+            parity = (got >> (width + 4)) & 1
+            assert parity == bin(total & ((1 << width) - 1)).count("1") % 2
+
+
+class TestInt2Float:
+    def test_exhaustive_against_reference(self):
+        width = 9
+        circuit = int2float_circuit(width, "i2f")
+        validate(circuit)
+        cases = [(v,) for v in range(2**width)]
+        vecs = drive_with_ints(circuit, cases, [width])
+        outs = decode(circuit, simulate(circuit, vecs), len(cases))
+        for (v,), got in zip(cases, outs):
+            assert got == int2float_reference(v, width), v
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            int2float_circuit(3)
+        with pytest.raises(ValueError):
+            int2float_circuit(16)
+
+
+class TestSqrt:
+    @pytest.mark.parametrize("input_width", [4, 6, 8])
+    def test_exhaustive_small(self, input_width):
+        circuit = sqrt_circuit(input_width)
+        validate(circuit)
+        cases = [(v,) for v in range(2**input_width)]
+        vecs = drive_with_ints(circuit, cases, [input_width])
+        outs = decode(circuit, simulate(circuit, vecs), len(cases))
+        for (v,), got in zip(cases, outs):
+            assert got == sqrt_reference(v), v
+
+    def test_random_width16(self):
+        circuit = sqrt_circuit(16)
+        rng = random.Random(10)
+        cases = [(rng.randrange(2**16),) for _ in range(300)]
+        vecs = drive_with_ints(circuit, cases, [16])
+        outs = decode(circuit, simulate(circuit, vecs), len(cases))
+        for (v,), got in zip(cases, outs):
+            assert got == sqrt_reference(v), v
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ValueError):
+            sqrt_circuit(7)
+
+
+class TestSine:
+    def test_matches_integer_model(self):
+        aw, it = 10, 8
+        circuit = cordic_sine_circuit(aw, it, "sin_t")
+        validate(circuit)
+        rng = random.Random(11)
+        cases = [(rng.randrange(2**aw),) for _ in range(200)]
+        vecs = drive_with_ints(circuit, cases, [aw])
+        outs = decode(circuit, simulate(circuit, vecs), len(cases))
+        for (t,), got in zip(cases, outs):
+            assert got == cordic_reference(t, aw, it), t
+
+    def test_model_approximates_sine(self):
+        aw, it = 12, 12
+        scale = 1 << aw
+        for frac in (0.1, 0.3, 0.5, 0.7, 0.9):
+            theta = int(frac * scale)
+            got = cordic_reference(theta, aw, it) / scale
+            expect = math.sin(frac * math.pi / 2)
+            assert got == pytest.approx(expect, abs=0.01)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            cordic_sine_circuit(2, 4)
+
+
+class TestControl:
+    def test_deterministic_by_seed(self):
+        a = random_control_circuit("t", 8, 6, 100, seed=42)
+        b = random_control_circuit("t", 8, 6, 100, seed=42)
+        c = random_control_circuit("t", 8, 6, 100, seed=43)
+        assert a.structure_key() == b.structure_key()
+        assert a.structure_key() != c.structure_key()
+
+    def test_shape_and_validity(self, library):
+        c = random_control_circuit("t", 10, 11, 573, seed=1)
+        validate(c, library)
+        assert len(c.pi_ids) == 10 and len(c.po_ids) == 11
+        assert c.num_gates == 573
+
+    def test_has_depth(self, library):
+        from repro.sta import STAEngine
+
+        c = random_control_circuit("t", 10, 8, 300, seed=2)
+        report = STAEngine(library).analyze(c)
+        assert report.max_unit_depth >= 5
+
+    def test_too_many_pos_rejected(self):
+        with pytest.raises(ValueError):
+            random_control_circuit("t", 4, 20, 10, seed=1)
+
+
+class TestSuite:
+    def test_all_fifteen_present(self):
+        assert len(SUITE) == 15
+        assert len(RANDOM_CONTROL_NAMES) == 7
+        assert len(ARITHMETIC_NAMES) == 8
+
+    @pytest.mark.parametrize("name", sorted(SUITE))
+    def test_scaled_builds_and_validates(self, name, library):
+        circuit = build_benchmark(name, profile="scaled")
+        validate(circuit, library)
+        spec = SUITE[name]
+        assert circuit.name == name or circuit.name.startswith(name)
+        assert len(circuit.po_ids) > 0
+
+    def test_pi_po_match_paper_for_unscaled(self):
+        for name in ("Adder16", "Max16", "c6288"):
+            spec = SUITE[name]
+            circuit = spec.build_paper()
+            assert len(circuit.pi_ids) == spec.paper.num_pi
+            assert len(circuit.po_ids) == spec.paper.num_po
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_benchmark("nope")
+
+    def test_profile_env(self, monkeypatch):
+        from repro.bench import active_profile
+
+        monkeypatch.setenv("REPRO_PROFILE", "paper")
+        assert active_profile() == "paper"
+        monkeypatch.delenv("REPRO_PROFILE")
+        assert active_profile() == "scaled"
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(ValueError):
+            SUITE["Adder16"].build("bogus")

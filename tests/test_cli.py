@@ -1,0 +1,76 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.netlist import parse_verilog, validate, write_verilog
+
+
+@pytest.fixture
+def adder_v(tmp_path, adder4):
+    path = tmp_path / "adder4.v"
+    path.write_text(write_verilog(adder4))
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_bench_name_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "NotACircuit"])
+
+
+class TestBenchCommand:
+    def test_generates_netlist(self, tmp_path, capsys):
+        out = tmp_path / "adder16.v"
+        assert main(["bench", "Adder16", "-o", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "CPD" in text
+        circuit = parse_verilog(out.read_text())
+        validate(circuit)
+        assert len(circuit.pi_ids) == 32
+
+    def test_report_only(self, capsys):
+        assert main(["bench", "Max16"]) == 0
+        assert "area" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_reports_timing(self, adder_v, capsys):
+        assert main(["report", str(adder_v)]) == 0
+        out = capsys.readouterr().out
+        assert "Startpoint" in out and "data arrival time" in out
+
+
+class TestOptimizeCommand:
+    def test_full_flow(self, adder_v, tmp_path, capsys):
+        out = tmp_path / "approx.v"
+        code = main([
+            "optimize", str(adder_v),
+            "--mode", "nmed", "--bound", "0.02",
+            "--vectors", "256", "--effort", "0.2", "--seed", "1",
+            "-o", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "Ratio_cpd" in stdout
+        approx = parse_verilog(out.read_text())
+        validate(approx)
+        assert len(approx.po_ids) == 5
+
+    def test_method_selection(self, adder_v, capsys):
+        code = main([
+            "optimize", str(adder_v),
+            "--method", "HEDALS", "--mode", "er", "--bound", "0.05",
+            "--vectors", "256", "--effort", "0.2",
+        ])
+        assert code == 0
+        assert "HEDALS" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Deeper behavioural invariants of the optimizer and suite."""
+
+import pytest
+
+from repro.core import DCGWO, DCGWOConfig, EvalContext
+from repro.netlist import validate
+from repro.sim import ErrorMode
+
+
+@pytest.fixture(scope="module")
+def library():
+    from repro.cells import default_library
+
+    return default_library()
+
+
+@pytest.fixture(scope="module")
+def ks16():
+    from repro.bench import kogge_stone_adder_circuit
+
+    return kogge_stone_adder_circuit(16)
+
+
+@pytest.fixture(scope="module")
+def run(ks16, library):
+    ctx = EvalContext.build(
+        ks16, library, ErrorMode.NMED, num_vectors=512, seed=9
+    )
+    cfg = DCGWOConfig(population_size=10, imax=6, seed=9)
+    return DCGWO(ctx, 0.02, cfg).optimize()
+
+
+class TestOptimizerInvariants:
+    def test_archive_dominates_population_history(self, run):
+        """The archived best is at least as fit as every recorded
+        population leader (the archive sees every candidate)."""
+        top = max(h.best_fitness for h in run.history)
+        assert run.best.fitness >= top - 1e-12
+
+    def test_population_unique_structures(self, run):
+        keys = [ev.circuit.structure_key() for ev in run.population]
+        assert len(set(keys)) == len(keys)
+
+    def test_every_member_shares_interface(self, run, ks16):
+        for ev in run.population:
+            assert ev.circuit.pi_ids == ks16.pi_ids
+            assert ev.circuit.po_ids == ks16.po_ids
+
+    def test_every_member_valid(self, run, library):
+        for ev in run.population:
+            validate(ev.circuit, library)
+
+    def test_population_errors_within_final_bound(self, run):
+        """The relaxed constraint never exceeds the user bound, so every
+        survivor must satisfy the final bound too."""
+        assert all(ev.error <= 0.02 + 1e-12 for ev in run.population)
+
+    def test_evaluation_counter_consistent(self, run):
+        evals = [h.evaluations for h in run.history]
+        assert evals == sorted(evals)
+        assert run.evaluations == evals[-1]
+
+
+class TestSuitePaperProfile:
+    @pytest.mark.parametrize(
+        "name,pi,po",
+        [("Adder", 256, 129), ("Max", 512, 128), ("Sin", 24, 25)],
+    )
+    def test_paper_widths_match_table1(self, name, pi, po, library):
+        from repro.bench import SUITE
+
+        circuit = SUITE[name].build_paper()
+        assert len(circuit.pi_ids) == pi
+        assert len(circuit.po_ids) == po
+        validate(circuit, library)
+
+    def test_paper_sqrt_shape(self, library):
+        """Sqrt is the largest generator; build once and sanity-check."""
+        from repro.bench import SUITE
+
+        circuit = SUITE["Sqrt"].build_paper()
+        assert len(circuit.pi_ids) == 128
+        assert len(circuit.po_ids) == 64
+        assert circuit.num_gates > 10_000  # Table I: 13 542
+
+
+class TestReportFormatting:
+    def test_format_path_specific_endpoint(self, ks16, library):
+        from repro.sta import STAEngine, format_path
+
+        report = STAEngine(library).analyze(ks16)
+        po = ks16.po_ids[0]
+        text = format_path(report, po)
+        assert ks16.po_names[po] in text
+
+    def test_result_best_circuit_property(self, run):
+        assert run.best_circuit is run.best.circuit

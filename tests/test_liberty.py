@@ -1,0 +1,110 @@
+"""Round-trip tests for Liberty (.lib) export/import."""
+
+import pytest
+
+from repro.cells import (
+    LibertyParseError,
+    default_library,
+    parse_liberty,
+    write_liberty,
+)
+
+
+@pytest.fixture(scope="module")
+def liberty_text():
+    return write_liberty(default_library())
+
+
+@pytest.fixture(scope="module")
+def parsed(liberty_text):
+    return parse_liberty(liberty_text, "roundtrip")
+
+
+class TestWriter:
+    def test_header_units(self, liberty_text):
+        assert 'time_unit : "1ps";' in liberty_text
+        assert "capacitive_load_unit (1, ff);" in liberty_text
+
+    def test_every_cell_present(self, liberty_text, library):
+        for cell in library.cells():
+            assert f"cell ({cell.name})" in liberty_text
+
+    def test_tables_emitted(self, liberty_text):
+        assert "cell_rise" in liberty_text
+        assert "rise_transition" in liberty_text
+        assert "index_1" in liberty_text
+
+
+class TestRoundTrip:
+    def test_cell_count_preserved(self, parsed, library):
+        assert len(parsed) == len(library)
+
+    def test_scalar_attributes_preserved(self, parsed, library):
+        for cell in library.cells():
+            back = parsed.cell(cell.name)
+            assert back.area == pytest.approx(cell.area, rel=1e-6)
+            assert back.input_cap == pytest.approx(
+                cell.input_cap, rel=1e-6
+            )
+            assert back.drive == cell.drive
+            assert back.max_load == pytest.approx(cell.max_load)
+            assert back.function is cell.function
+
+    @pytest.mark.parametrize(
+        "point", [(5.0, 0.5), (12.0, 3.0), (80.0, 20.0), (200.0, 50.0)]
+    )
+    def test_lookup_equivalence(self, parsed, library, point):
+        slew, load = point
+        for name in ("INVD1", "NAND2D2", "XOR2D4", "MAJ3D0"):
+            a = library.cell(name)
+            b = parsed.cell(name)
+            assert b.delay(slew, load) == pytest.approx(
+                a.delay(slew, load), rel=1e-6
+            )
+            assert b.output_slew(slew, load) == pytest.approx(
+                a.output_slew(slew, load), rel=1e-6
+            )
+
+    def test_sta_equivalence(self, parsed, library, adder4):
+        """The parsed library must time a circuit identically."""
+        from repro.sta import STAEngine
+
+        a = STAEngine(library).analyze(adder4)
+        b = STAEngine(parsed).analyze(adder4)
+        assert b.cpd == pytest.approx(a.cpd, rel=1e-9)
+
+
+class TestParserErrors:
+    def test_empty(self):
+        with pytest.raises(LibertyParseError):
+            parse_liberty("library (x) { }")
+
+    def test_unknown_function(self):
+        text = """
+        library (x) {
+          cell (BOGUS3D1) { area : 1.0; }
+        }
+        """
+        with pytest.raises(LibertyParseError):
+            parse_liberty(text)
+
+    def test_missing_tables(self):
+        text = """
+        library (x) {
+          cell (INVD1) {
+            area : 1.0;
+            pin (A) { direction : input; capacitance : 1.0; }
+          }
+        }
+        """
+        with pytest.raises(LibertyParseError):
+            parse_liberty(text)
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(LibertyParseError):
+            parse_liberty("library (x) { cell (INVD1) { area : 1.0;")
+
+    def test_comments_stripped(self, liberty_text):
+        commented = "/* header */\n" + liberty_text
+        lib = parse_liberty(commented)
+        assert len(lib) > 0

@@ -1,0 +1,42 @@
+"""Extra CLI coverage: Liberty output path and optimizer determinism."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+from repro.netlist import parse_verilog
+
+
+class TestSubprocessEntry:
+    def test_module_entry_point(self):
+        """``python -m repro --version`` must work as an installed tool."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "repro" in proc.stdout
+
+
+class TestOptimizeDeterminism:
+    def test_same_seed_same_netlist(self, tmp_path, adder4, capsys):
+        from repro.netlist import write_verilog
+
+        src = tmp_path / "c.v"
+        src.write_text(write_verilog(adder4))
+        outs = []
+        for tag in ("a", "b"):
+            out = tmp_path / f"{tag}.v"
+            main([
+                "optimize", str(src), "--mode", "er", "--bound", "0.05",
+                "--vectors", "128", "--effort", "0.2", "--seed", "3",
+                "-o", str(out),
+            ])
+            outs.append(out.read_text())
+        capsys.readouterr()
+        key_a = parse_verilog(outs[0]).structure_key()
+        key_b = parse_verilog(outs[1]).structure_key()
+        assert key_a == key_b

@@ -1,0 +1,136 @@
+"""Unit and property tests for non-dominated sorting and crowding."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    crowding_distance,
+    dominates,
+    non_dominated_sort,
+    nsga2_select,
+)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((2.0, 2.0), (1.0, 1.0))
+        assert dominates((2.0, 1.0), (1.0, 1.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_trade_off_points_incomparable(self):
+        assert not dominates((2.0, 1.0), (1.0, 2.0))
+        assert not dominates((1.0, 2.0), (2.0, 1.0))
+
+
+class TestFronts:
+    def test_simple_two_fronts(self):
+        points = [(1.0, 1.0), (2.0, 2.0), (3.0, 1.0)]
+        fronts = non_dominated_sort(points)
+        assert sorted(fronts[0]) == [1, 2]
+        assert fronts[1] == [0]
+
+    def test_all_on_one_front(self):
+        points = [(1.0, 4.0), (2.0, 3.0), (3.0, 2.0), (4.0, 1.0)]
+        fronts = non_dominated_sort(points)
+        assert len(fronts) == 1
+        assert sorted(fronts[0]) == [0, 1, 2, 3]
+
+    def test_chain_gives_singleton_fronts(self):
+        points = [(float(i), float(i)) for i in range(5)]
+        fronts = non_dominated_sort(points)
+        assert [f[0] for f in fronts] == [4, 3, 2, 1, 0]
+
+    def test_empty(self):
+        assert non_dominated_sort([]) == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.1, 10.0, allow_nan=False),
+                st.floats(0.1, 10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_front_zero_is_truly_nondominated(self, points):
+        fronts = non_dominated_sort(points)
+        # Partition property: every index appears exactly once.
+        seen = sorted(i for front in fronts for i in front)
+        assert seen == list(range(len(points)))
+        # Nobody dominates a rank-0 member.
+        for i in fronts[0]:
+            assert not any(
+                dominates(points[j], points[i]) for j in range(len(points))
+            )
+        # Each member of front k>0 is dominated by someone in front k-1.
+        for k in range(1, len(fronts)):
+            for i in fronts[k]:
+                assert any(
+                    dominates(points[j], points[i]) for j in fronts[k - 1]
+                )
+
+
+class TestCrowding:
+    def test_boundaries_infinite(self):
+        points = [(1.0, 4.0), (2.0, 3.0), (3.0, 2.0), (4.0, 1.0)]
+        dist = crowding_distance(points, [0, 1, 2, 3])
+        assert math.isinf(dist[0]) and math.isinf(dist[3])
+        assert not math.isinf(dist[1]) and not math.isinf(dist[2])
+
+    def test_small_front_all_infinite(self):
+        points = [(1.0, 2.0), (2.0, 1.0)]
+        dist = crowding_distance(points, [0, 1])
+        assert all(math.isinf(v) for v in dist.values())
+
+    def test_evenly_spaced_interior_equal(self):
+        points = [(1.0, 4.0), (2.0, 3.0), (3.0, 2.0), (4.0, 1.0)]
+        dist = crowding_distance(points, [0, 1, 2, 3])
+        assert dist[1] == pytest.approx(dist[2])
+
+    def test_sparse_point_more_crowded_distance(self):
+        # Index 2 sits in a large gap; index 1 is squeezed.
+        points = [(0.0, 10.0), (1.0, 9.0), (5.0, 3.0), (10.0, 0.0)]
+        dist = crowding_distance(points, [0, 1, 2, 3])
+        assert dist[2] > dist[1]
+
+
+class TestSelect:
+    def test_selects_rank0_first(self):
+        points = [(1.0, 1.0), (3.0, 3.0), (2.0, 4.0)]
+        chosen = nsga2_select(points, 2)
+        assert sorted(chosen) == [1, 2]
+
+    def test_truncates_by_crowding(self):
+        points = [(1.0, 4.0), (2.0, 3.0), (2.1, 2.9), (3.0, 2.0), (4.0, 1.0)]
+        chosen = nsga2_select(points, 4)
+        assert len(chosen) == 4
+        # Boundary points must survive truncation.
+        assert 0 in chosen and 4 in chosen
+
+    def test_fewer_points_than_requested(self):
+        points = [(1.0, 1.0)]
+        assert nsga2_select(points, 5) == [0]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.1, 10.0, allow_nan=False),
+                st.floats(0.1, 10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(1, 30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_selection_size_and_uniqueness(self, points, count):
+        chosen = nsga2_select(points, count)
+        assert len(chosen) == min(count, len(points))
+        assert len(set(chosen)) == len(chosen)

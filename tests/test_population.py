@@ -1,0 +1,161 @@
+"""Unit tests for population division, relaxation, and GWO coefficients."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    NUM_ELITES,
+    ErrorRelaxation,
+    EvalContext,
+    decision_parameter,
+    divide_population,
+    encircling_coefficient,
+    evaluate,
+    fitness_distance,
+    scaling_factor,
+)
+from repro.core.fitness import CircuitEval
+from repro.sim import ErrorMode
+
+
+def make_population(adder8, library, n):
+    """A fake ranked population: reuse one eval with forged fitnesses."""
+    ctx = EvalContext.build(
+        adder8, library, ErrorMode.ER, num_vectors=64, seed=0
+    )
+    base = evaluate(ctx, adder8.copy())
+    pop = []
+    for i in range(n):
+        ev = CircuitEval(
+            circuit=base.circuit,
+            report=base.report,
+            values=base.values,
+            depth=base.depth,
+            area=base.area,
+            error=0.0,
+            per_po_error=base.per_po_error,
+            fd=base.fd,
+            fa=base.fa,
+            fitness=1.0 + 0.01 * i,
+        )
+        pop.append(ev)
+    return pop
+
+
+class TestDivision:
+    def test_hierarchy_sizes(self, adder8, library):
+        pop = make_population(adder8, library, 10)
+        div = divide_population(pop)
+        assert len(div.elites) == NUM_ELITES
+        assert len(div.omegas) == 10 - 1 - NUM_ELITES
+
+    def test_leader_has_max_fitness(self, adder8, library):
+        pop = make_population(adder8, library, 8)
+        div = divide_population(pop)
+        assert div.leader.fitness == max(ev.fitness for ev in pop)
+        assert all(
+            div.leader.fitness >= e.fitness for e in div.elites
+        )
+        assert all(
+            min(e.fitness for e in div.elites) >= o.fitness
+            for o in div.omegas
+        )
+
+    def test_small_population(self, adder8, library):
+        pop = make_population(adder8, library, 2)
+        div = divide_population(pop)
+        assert len(div.elites) == 1
+        assert div.omegas == []
+        # Elite mean falls back sensibly.
+        assert div.elite_mean_fitness == div.elites[0].fitness
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            divide_population([])
+
+    def test_all_members_roundtrip(self, adder8, library):
+        pop = make_population(adder8, library, 9)
+        div = divide_population(pop)
+        assert len(div.all_members) == 9
+
+
+class TestCoefficients:
+    def test_scaling_factor_endpoints(self):
+        assert scaling_factor(0, 20) == pytest.approx(2.0)
+        assert scaling_factor(20, 20) == pytest.approx(0.0)
+        assert scaling_factor(10, 20) == pytest.approx(1.0)
+
+    def test_scaling_factor_clamps(self):
+        assert scaling_factor(25, 20) == 0.0
+        assert scaling_factor(-1, 20) == 2.0
+
+    def test_scaling_factor_bad_imax(self):
+        with pytest.raises(ValueError):
+            scaling_factor(1, 0)
+
+    def test_encircling_coefficient_range(self):
+        rng = random.Random(0)
+        for a in (2.0, 1.0, 0.5):
+            for _ in range(100):
+                val = encircling_coefficient(a, rng)
+                assert -a <= val <= a
+
+    def test_fitness_distance_range(self, adder8, library):
+        pop = make_population(adder8, library, 2)
+        rng = random.Random(1)
+        ev = pop[0]
+        ref = 1.5
+        for _ in range(100):
+            d = fitness_distance(ev, ref, rng)
+            assert -ev.fitness <= d <= 2.0 * ref - ev.fitness
+
+    def test_decision_parameter_shrinks_with_a(self, adder8, library):
+        pop = make_population(adder8, library, 2)
+        ev = pop[0]
+        samples_big = [
+            abs(decision_parameter(ev, 2.0, 2.0, random.Random(s)))
+            for s in range(200)
+        ]
+        samples_small = [
+            abs(decision_parameter(ev, 2.0, 0.1, random.Random(s)))
+            for s in range(200)
+        ]
+        assert max(samples_small) < max(samples_big)
+
+
+class TestRelaxation:
+    def test_quadratic_reaches_final(self):
+        r = ErrorRelaxation(final=0.05, imax=20)
+        assert r.at(0) == pytest.approx(r.initial)
+        assert r.at(20) == pytest.approx(0.05)
+        assert r.at(50) == 0.05  # clamped after imax
+
+    def test_monotone_nondecreasing(self):
+        r = ErrorRelaxation(final=0.02, imax=15)
+        values = [r.at(i) for i in range(30)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_start_fraction(self):
+        r = ErrorRelaxation(final=0.1, imax=10, start_fraction=0.5)
+        assert r.at(0) == pytest.approx(0.05)
+
+    def test_paper_quadratic_form(self):
+        r = ErrorRelaxation(final=0.05, imax=20, start_fraction=0.25)
+        # err(iter) = b*iter^2 + err0 exactly (before the clamp).
+        for it in (1, 5, 13):
+            assert r.at(it) == pytest.approx(r.b * it**2 + r.initial)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorRelaxation(final=-0.1, imax=10)
+        with pytest.raises(ValueError):
+            ErrorRelaxation(final=0.1, imax=0)
+        with pytest.raises(ValueError):
+            ErrorRelaxation(final=0.1, imax=10, start_fraction=2.0)
+        with pytest.raises(ValueError):
+            ErrorRelaxation(final=0.1, imax=10).at(-1)
+
+    def test_degenerate_zero_bound(self):
+        r = ErrorRelaxation(final=0.0, imax=10)
+        assert r.at(5) == 0.0

@@ -1,0 +1,109 @@
+"""Unit tests for post-optimization: dangling deletion and resizing."""
+
+import pytest
+
+from repro.core import LAC, applied_copy
+from repro.netlist import CONST0, validate
+from repro.postopt import (
+    delete_dangling_gates,
+    post_optimize,
+    resize_for_timing,
+)
+from repro.sta import STAEngine
+
+
+class TestDanglingDeletion:
+    def test_lac_dangles_removed(self, adder8):
+        target = adder8.logic_ids()[5]
+        child = applied_copy(adder8, LAC(target, CONST0))
+        before = child.num_gates
+        removed = delete_dangling_gates(child)
+        assert removed >= 1
+        assert child.num_gates == before - removed
+        validate(child)
+        assert child.dangling_gates() == set()
+
+    def test_clean_circuit_untouched(self, adder8):
+        c = adder8.copy()
+        assert delete_dangling_gates(c) == 0
+        assert c.num_gates == adder8.num_gates
+
+
+class TestResizer:
+    def test_resize_reduces_cpd(self, adder8, library):
+        c = adder8.copy()
+        area0 = c.area(library)
+        result = resize_for_timing(c, library, area_con=1.3 * area0)
+        assert result.cpd_after < result.cpd_before
+        assert result.num_moves > 0
+
+    def test_area_constraint_respected(self, adder8, library):
+        c = adder8.copy()
+        area0 = c.area(library)
+        con = 1.05 * area0
+        result = resize_for_timing(c, library, area_con=con)
+        assert result.area_after <= con + 1e-9
+        assert c.area(library) == pytest.approx(result.area_after)
+
+    def test_no_headroom_no_moves(self, adder8, library):
+        c = adder8.copy()
+        area0 = c.area(library)
+        result = resize_for_timing(c, library, area_con=area0)
+        # All cells are already at D1+ and every upsize adds area.
+        assert result.num_moves == 0
+        assert result.cpd_after == pytest.approx(result.cpd_before)
+
+    def test_structure_never_changes(self, adder8, library):
+        c = adder8.copy()
+        resize_for_timing(c, library, area_con=2.0 * c.area(library))
+        assert c.fanins == adder8.fanins
+        # Only drive codes may differ.
+        for gid in c.logic_ids():
+            old = adder8.cells[gid]
+            new = c.cells[gid]
+            assert old.rsplit("D", 1)[0] == new.rsplit("D", 1)[0]
+
+    def test_moves_are_upsizes_on_recordings(self, adder8, library):
+        c = adder8.copy()
+        result = resize_for_timing(c, library, area_con=1.5 * c.area(library))
+        for move in result.moves:
+            from repro.cells import split_cell_name
+
+            f_from, d_from = split_cell_name(move.from_cell)
+            f_to, d_to = split_cell_name(move.to_cell)
+            assert f_from == f_to
+            assert d_to > d_from
+
+    def test_more_headroom_no_worse(self, adder8, library):
+        area0 = adder8.area(library)
+        c_small = adder8.copy()
+        r_small = resize_for_timing(c_small, library, area_con=1.1 * area0)
+        c_big = adder8.copy()
+        r_big = resize_for_timing(c_big, library, area_con=1.6 * area0)
+        assert r_big.cpd_after <= r_small.cpd_after + 1e-6
+
+
+class TestPostOptimize:
+    def test_full_pipeline(self, adder8, library):
+        target = adder8.logic_ids()[len(adder8.logic_ids()) // 2]
+        child = applied_copy(adder8, LAC(target, CONST0))
+        area_con = adder8.area(library)  # paper: Area_con = Area_ori
+        result = post_optimize(child, library, area_con)
+        validate(result.circuit, library)
+        assert result.dangling_removed >= 1
+        assert result.circuit.area(library) <= area_con + 1e-9
+        # The original input circuit is untouched.
+        assert child.dangling_gates() != set()
+
+    def test_converts_area_into_timing(self, adder8, library):
+        """The paper's core claim: freed area buys CPD via upsizing."""
+        engine = STAEngine(library)
+        target = adder8.logic_ids()[-3]
+        child = applied_copy(adder8, LAC(target, CONST0))
+        cpd_before = engine.analyze(child).cpd
+        result = post_optimize(
+            child, library, area_con=adder8.area(library)
+        )
+        assert result.cpd_after <= cpd_before
+        if result.sizing.num_moves:
+            assert result.cpd_after < cpd_before

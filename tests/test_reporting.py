@@ -1,0 +1,81 @@
+"""Unit tests for the table/figure text rendering helpers."""
+
+import pytest
+
+from repro.reporting import (
+    ComparisonRow,
+    format_comparison_table,
+    format_series,
+    format_stats_table,
+)
+from repro.reporting import _mean
+
+
+class TestMean:
+    def test_empty_is_zero(self):
+        assert _mean([]) == 0.0
+
+    def test_average(self):
+        assert _mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+
+class TestComparisonTable:
+    def make_rows(self):
+        return [
+            ComparisonRow(
+                "a", 10.0, {"X": 0.5, "Y": 0.9}, {"X": 1.0, "Y": 2.0}
+            ),
+            ComparisonRow(
+                "b", 20.0, {"X": 0.7, "Y": 0.8}, {"X": 3.0, "Y": 4.0}
+            ),
+        ]
+
+    def test_average_row_correct(self):
+        text = format_comparison_table("T", self.make_rows(), ["X", "Y"])
+        avg_line = [l for l in text.splitlines() if "Average" in l][0]
+        assert "0.6000" in avg_line  # mean of X ratios
+        assert "0.8500" in avg_line  # mean of Y ratios
+        assert "15.00" in avg_line  # mean area_con
+
+    def test_column_alignment(self):
+        text = format_comparison_table("T", self.make_rows(), ["X", "Y"])
+        lines = text.splitlines()
+        header = next(l for l in lines if l.startswith("Circuit"))
+        data = [l for l in lines if l.startswith(("a", "b", "Average"))]
+        assert all(len(l) == len(header) for l in data)
+
+    def test_empty_rows_no_average(self):
+        text = format_comparison_table("T", [], ["X"])
+        assert "Average" not in text
+
+
+class TestSeries:
+    def test_custom_format(self):
+        text = format_series(
+            "S", "x", [1, 2], {"m": [0.123456, 0.9]},
+            y_format="{:.2f}",
+        )
+        assert "0.12" in text and "0.123456" not in text
+
+    def test_string_x_values(self):
+        text = format_series("S", "x", ["1%", "2%"], {"m": [0.1, 0.2]})
+        assert "1%" in text and "2%" in text
+
+    def test_multiple_series_rows(self):
+        text = format_series(
+            "S", "x", [1], {"a": [0.1], "b": [0.2], "c": [0.3]}
+        )
+        data_lines = text.splitlines()[4:]
+        assert len(data_lines) == 3
+
+
+class TestStatsTable:
+    def test_all_fields_rendered(self):
+        rows = [
+            dict(name="X", type="arith", gates=10, pi=2, po=3,
+                 cpd=1.5, area=2.5, description="desc here"),
+        ]
+        text = format_stats_table(rows)
+        assert "2/3" in text
+        assert "desc here" in text
+        assert "1.50" in text and "2.50" in text

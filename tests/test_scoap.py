@@ -1,0 +1,205 @@
+"""Tests for SCOAP testability analysis."""
+
+import math
+
+import pytest
+
+from repro.netlist import CONST0, CONST1, CircuitBuilder
+from repro.netlist.scoap import (
+    analyze_testability,
+    rank_targets_by_observability,
+)
+
+
+class TestControllability:
+    def test_pi_is_unit(self):
+        b = CircuitBuilder()
+        a = b.pi("a")
+        b.po(a, "o")
+        rep = analyze_testability(b.done())
+        assert rep.cc0[a] == 1.0
+        assert rep.cc1[a] == 1.0
+
+    def test_and_gate_classic_rules(self):
+        """AND2: CC1 = CC1(a)+CC1(b)+1, CC0 = min(CC0)+1 — the generic
+        truth-table derivation must reproduce the textbook rules."""
+        b = CircuitBuilder()
+        x, y = b.pis(2)
+        g = b.and2(x, y)
+        b.po(g, "o")
+        rep = analyze_testability(b.done())
+        assert rep.cc1[g] == 1.0 + 1.0 + 1.0  # both inputs at 1
+        assert rep.cc0[g] == 1.0 + 1.0  # either input at 0
+
+    def test_or_gate_dual(self):
+        b = CircuitBuilder()
+        x, y = b.pis(2)
+        g = b.or2(x, y)
+        b.po(g, "o")
+        rep = analyze_testability(b.done())
+        assert rep.cc0[g] == 3.0
+        assert rep.cc1[g] == 2.0
+
+    def test_xor_gate(self):
+        """XOR2 needs one input per polarity either way: CC = 3."""
+        b = CircuitBuilder()
+        x, y = b.pis(2)
+        g = b.xor2(x, y)
+        b.po(g, "o")
+        rep = analyze_testability(b.done())
+        assert rep.cc0[g] == 3.0
+        assert rep.cc1[g] == 3.0
+
+    def test_controllability_grows_along_chain(self):
+        b = CircuitBuilder()
+        sig = b.pi("a")
+        others = b.pis(4, "x")
+        gates = []
+        for o in others:
+            sig = b.and2(sig, o)
+            gates.append(sig)
+        b.po(sig, "o")
+        rep = analyze_testability(b.done())
+        cc1s = [rep.cc1[g] for g in gates]
+        assert cc1s == sorted(cc1s)
+        assert cc1s[0] < cc1s[-1]
+
+    def test_constant_fanin_blocks_one_value(self):
+        """AND2(a, const0) can never output 1."""
+        b = CircuitBuilder()
+        a = b.pi("a")
+        g = b.gate("AND2", a, CONST0)
+        b.po(g, "o")
+        rep = analyze_testability(b.done())
+        assert rep.cc0[g] == 1.0  # const0 is free
+        assert math.isinf(rep.cc1[g])
+
+    def test_controllability_accessor(self):
+        b = CircuitBuilder()
+        x, y = b.pis(2)
+        g = b.and2(x, y)
+        b.po(g, "o")
+        rep = analyze_testability(b.done())
+        assert rep.controllability(g, 0) == rep.cc0[g]
+        assert rep.controllability(g, 1) == rep.cc1[g]
+
+
+class TestObservability:
+    def test_po_driver_fully_observable(self):
+        b = CircuitBuilder()
+        x, y = b.pis(2)
+        g = b.and2(x, y)
+        po = b.po(g, "o")
+        rep = analyze_testability(b.done())
+        assert rep.observability[po] == 0.0
+        assert rep.observability[g] == 0.0  # PO wires are free
+
+    def test_and_side_input_cost(self):
+        """To observe x through AND2(x, y) the side input y must be 1."""
+        b = CircuitBuilder()
+        x, y = b.pis(2)
+        g = b.and2(x, y)
+        b.po(g, "o")
+        rep = analyze_testability(b.done())
+        assert rep.observability[x] == 0.0 + 1.0 + 1.0  # CC1(y) + 1
+
+    def test_observability_decays_with_depth(self):
+        b = CircuitBuilder()
+        sig = b.pi("a")
+        others = b.pis(4, "x")
+        first = None
+        for o in others:
+            sig = b.and2(sig, o)
+            if first is None:
+                first = sig
+        b.po(sig, "o")
+        rep = analyze_testability(b.done())
+        # The deepest gate is easier to observe than the shallowest.
+        assert rep.observability[first] > rep.observability[sig]
+
+    def test_dangling_gate_unobservable(self):
+        b = CircuitBuilder()
+        a = b.pi("a")
+        dead = b.inv(a)
+        b.po(a, "o")
+        rep = analyze_testability(b.done())
+        assert math.isinf(rep.observability[dead])
+
+    def test_reconvergence_takes_cheapest_route(self):
+        """A gate feeding two paths is observed via the cheaper one."""
+        b = CircuitBuilder()
+        x, y = b.pis(2)
+        g = b.inv(x)
+        cheap = b.po(g, "direct")
+        expensive = b.and2(g, y)
+        b.po(expensive, "masked")
+        rep = analyze_testability(b.done())
+        assert rep.observability[g] == 0.0
+
+    def test_xnor_pin_always_sensitised(self):
+        """XNOR output is sensitive to each pin under any side value."""
+        b = CircuitBuilder()
+        x, y = b.pis(2)
+        g = b.xnor2(x, y)
+        b.po(g, "o")
+        rep = analyze_testability(b.done())
+        # min side cost = min(CC0(y), CC1(y)) = 1 -> CO(x) = 0 + 1 + 1.
+        assert rep.observability[x] == 2.0
+
+    def test_mux_select_observability(self):
+        """The select pin is observable only when d0 != d1."""
+        b = CircuitBuilder()
+        d0, d1, s = b.pis(3)
+        g = b.mux2(d0, d1, s)
+        b.po(g, "o")
+        rep = analyze_testability(b.done())
+        # Cheapest sensitisation: d0/d1 at opposite values (cost 2).
+        assert rep.observability[s] == 0.0 + 2.0 + 1.0
+
+
+class TestRanking:
+    def test_hardest_to_observe_ordering(self, adder8):
+        rep = analyze_testability(adder8)
+        hardest = rep.hardest_to_observe(3)
+        cos = [rep.observability[g] for g in hardest]
+        assert cos == sorted(cos, reverse=True)
+
+    def test_rank_targets_prefers_masked_gates(self, adder8):
+        rep = analyze_testability(adder8)
+        ranked = rank_targets_by_observability(
+            adder8, rep, adder8.logic_ids()
+        )
+        cos = [rep.observability[g] for g in ranked]
+        finite = [c for c in cos if math.isfinite(c)]
+        assert finite == sorted(finite, reverse=True)
+
+    def test_observability_correlates_with_error(self):
+        """Structural prediction vs measured ER on an AND chain: the
+        masked inner gate must introduce less error than the PO driver."""
+        from repro.core import LAC, applied_copy
+        from repro.sim import (
+            error_rate,
+            exhaustive_vectors,
+            po_words,
+            simulate,
+        )
+
+        b = CircuitBuilder("chain4")
+        a, c, d, e = b.pis(4)
+        inner = b.and2(a, c)
+        mid = b.and2(inner, d)
+        outer = b.and2(mid, e)
+        b.po(outer, "o")
+        circuit = b.done()
+        rep = analyze_testability(circuit)
+        assert rep.observability[inner] > rep.observability[outer]
+
+        vecs = exhaustive_vectors(4)
+        ref = po_words(circuit, simulate(circuit, vecs))
+
+        def er_of(target):
+            child = applied_copy(circuit, LAC(target, CONST1))
+            app = po_words(child, simulate(child, vecs))
+            return error_rate(ref, app, vecs.num_vectors)
+
+        assert er_of(inner) < er_of(outer)

@@ -1,0 +1,139 @@
+"""Tests for the gate-simplification LAC extension."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    DCGWO,
+    DCGWOConfig,
+    EvalContext,
+    Simplification,
+    apply_simplification,
+    circuit_simplify,
+    evaluate,
+    propose_simplification,
+    simplified_copy,
+)
+from repro.netlist import CircuitBuilder, validate
+from repro.sim import ErrorMode, exhaustive_vectors, simulate
+
+
+@pytest.fixture
+def and_heavy():
+    """AND3 whose inputs almost always make it behave like AND2."""
+    b = CircuitBuilder("andh")
+    x, y, z = b.pis(3)
+    g = b.gate("AND3", x, y, z)
+    b.po(g, "o")
+    return b.done(), g
+
+
+class TestPropose:
+    def test_finds_cheaper_function(self, and_heavy):
+        circuit, gate = and_heavy
+        vecs = exhaustive_vectors(3)
+        values = simulate(circuit, vecs)
+        simp = propose_simplification(
+            circuit, values, gate, vecs.num_vectors
+        )
+        assert simp is not None
+        assert simp.gate == gate
+        # Whatever it picked must be cheaper than XOR-class complexity.
+        from repro.cells import FUNCTIONS, split_cell_name
+
+        new_fn, _ = split_cell_name(simp.new_cell)
+        assert FUNCTIONS[new_fn].complexity < FUNCTIONS["AND3"].complexity
+
+    def test_respects_min_agreement(self, and_heavy):
+        circuit, gate = and_heavy
+        vecs = exhaustive_vectors(3)
+        values = simulate(circuit, vecs)
+        assert (
+            propose_simplification(
+                circuit, values, gate, vecs.num_vectors,
+                min_agreement=1.01,
+            )
+            is None
+        )
+
+    def test_non_logic_gate_returns_none(self, and_heavy):
+        circuit, _ = and_heavy
+        vecs = exhaustive_vectors(3)
+        values = simulate(circuit, vecs)
+        pi = circuit.pi_ids[0]
+        assert (
+            propose_simplification(circuit, values, pi, vecs.num_vectors)
+            is None
+        )
+
+    def test_drive_preserved(self, and_heavy):
+        circuit, gate = and_heavy
+        circuit.set_cell(gate, "AND3D2")
+        vecs = exhaustive_vectors(3)
+        values = simulate(circuit, vecs)
+        simp = propose_simplification(
+            circuit, values, gate, vecs.num_vectors
+        )
+        assert simp is not None
+        assert simp.new_cell.endswith("D2")
+
+
+class TestApply:
+    def test_function_swap_in_place(self, and_heavy, library):
+        circuit, gate = and_heavy
+        simp = Simplification(gate, "NAND3D1")
+        changed = apply_simplification(circuit, simp)
+        assert changed == [gate]
+        assert circuit.cells[gate] == "NAND3D1"
+        validate(circuit, library)
+
+    def test_drop_fanin(self, and_heavy, library):
+        circuit, gate = and_heavy
+        fis = circuit.fanins[gate]
+        simp = Simplification(gate, "AND2D1", fis[:2])
+        apply_simplification(circuit, simp)
+        assert circuit.fanins[gate] == fis[:2]
+        validate(circuit, library)
+
+    def test_arity_mismatch_rejected(self, and_heavy):
+        circuit, gate = and_heavy
+        with pytest.raises(ValueError):
+            apply_simplification(circuit, Simplification(gate, "AND2D1"))
+
+    def test_simplified_copy_leaves_original(self, and_heavy):
+        circuit, gate = and_heavy
+        child = simplified_copy(circuit, Simplification(gate, "OR3D1"))
+        assert circuit.cells[gate] == "AND3D1"
+        assert child.cells[gate] == "OR3D1"
+
+    def test_str_forms(self):
+        assert "simplify" in str(Simplification(5, "AND2D1"))
+        assert "drop-fanin" in str(Simplification(5, "AND2D1", (1, 2)))
+
+
+class TestInOptimizer:
+    def test_circuit_simplify_action(self, adder8, library):
+        ctx = EvalContext.build(
+            adder8, library, ErrorMode.NMED, num_vectors=256, seed=1
+        )
+        ev = evaluate(ctx, adder8.copy())
+        produced = 0
+        for s in range(12):
+            child = circuit_simplify(ev, ctx, random.Random(s))
+            if child is not None:
+                validate(child, library)
+                produced += 1
+        assert produced > 0
+
+    def test_dcgwo_with_simplification(self, adder8, library):
+        ctx = EvalContext.build(
+            adder8, library, ErrorMode.NMED, num_vectors=256, seed=2
+        )
+        cfg = DCGWOConfig(
+            population_size=8, imax=4, seed=2,
+            enable_simplification=True,
+        )
+        result = DCGWO(ctx, 0.03, cfg).optimize()
+        assert result.best.error <= 0.03
+        validate(result.best.circuit, library)

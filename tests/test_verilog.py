@@ -1,0 +1,120 @@
+"""Round-trip and error tests for the structural Verilog subset."""
+
+import pytest
+
+from repro.netlist import (
+    CONST0,
+    CONST1,
+    CircuitBuilder,
+    VerilogParseError,
+    parse_verilog,
+    validate,
+    write_verilog,
+)
+from repro.sim import exhaustive_vectors, po_words, simulate
+
+
+def roundtrip(circuit):
+    return parse_verilog(write_verilog(circuit))
+
+
+class TestWriter:
+    def test_emits_module_header_and_ports(self, fig3):
+        text = write_verilog(fig3)
+        assert text.startswith("module fig3 (")
+        assert "input i1, i2, i3, i4;" in text
+        assert "output o1, o2, o3;" in text
+        assert "endmodule" in text
+
+    def test_instances_reference_cells(self, fig3):
+        text = write_verilog(fig3)
+        assert "AND2D1 U5 (.A(i1), .B(i2), .Z(n5));" in text
+
+    def test_constants_rendered_as_literals(self):
+        b = CircuitBuilder("c")
+        a = b.pi("a")
+        g = b.gate("AND2", a, CONST1)
+        b.po(g, "y")
+        text = write_verilog(b.done())
+        assert "1'b1" in text
+
+
+class TestRoundTrip:
+    def test_fig3_roundtrip_preserves_function(self, fig3):
+        parsed = roundtrip(fig3)
+        validate(parsed)
+        vecs = exhaustive_vectors(4)
+        ref = po_words(fig3, simulate(fig3, vecs))
+        got = po_words(parsed, simulate(parsed, vecs))
+        assert (ref == got).all()
+
+    def test_adder_roundtrip_preserves_function(self, adder4):
+        parsed = roundtrip(adder4)
+        validate(parsed)
+        vecs = exhaustive_vectors(8)
+        ref = po_words(adder4, simulate(adder4, vecs))
+        got = po_words(parsed, simulate(parsed, vecs))
+        assert (ref == got).all()
+
+    def test_roundtrip_with_constants(self):
+        b = CircuitBuilder("consts")
+        a = b.pi("a")
+        g0 = b.gate("OR2", a, CONST0)
+        g1 = b.gate("AND2", g0, CONST1)
+        b.po(g1, "y")
+        circuit = b.done()
+        parsed = roundtrip(circuit)
+        vecs = exhaustive_vectors(1)
+        ref = po_words(circuit, simulate(circuit, vecs))
+        got = po_words(parsed, simulate(parsed, vecs))
+        assert (ref == got).all()
+
+    def test_po_names_preserved(self, fig3):
+        parsed = roundtrip(fig3)
+        assert sorted(parsed.po_names.values()) == ["o1", "o2", "o3"]
+        assert sorted(parsed.pi_names.values()) == ["i1", "i2", "i3", "i4"]
+
+
+class TestParserErrors:
+    def test_no_module(self):
+        with pytest.raises(VerilogParseError):
+            parse_verilog("wire x;")
+
+    def test_unknown_cell(self):
+        src = """
+        module t (a, y);
+          input a; output y; wire n2;
+          BOGUS2D1 U2 (.A(a), .Z(n2));
+          assign y = n2;
+        endmodule
+        """
+        with pytest.raises(VerilogParseError):
+            parse_verilog(src)
+
+    def test_undriven_output(self):
+        src = """
+        module t (a, y);
+          input a; output y;
+        endmodule
+        """
+        with pytest.raises(VerilogParseError):
+            parse_verilog(src)
+
+    def test_undriven_net_in_pin(self):
+        src = """
+        module t (a, y);
+          input a; output y; wire n2;
+          AND2D1 U2 (.A(a), .B(ghost), .Z(n2));
+          assign y = n2;
+        endmodule
+        """
+        with pytest.raises(VerilogParseError):
+            parse_verilog(src)
+
+    def test_comments_stripped(self, fig3):
+        text = write_verilog(fig3)
+        text = "// header comment\n" + text.replace(
+            "endmodule", "// tail\nendmodule"
+        )
+        parsed = parse_verilog(text)
+        validate(parsed)
