@@ -84,7 +84,7 @@ class SingleChaseGWO(DCGWO):
                 key = child.structure_key()
                 if key not in seen_keys:
                     seen_keys.add(key)
-                    children.append(child)
+                    children.append((child, (ev,)))
                     return
 
         for ev in followers:
@@ -98,7 +98,7 @@ class SingleChaseGWO(DCGWO):
                     key = child.structure_key()
                     if key not in seen_keys:
                         seen_keys.add(key)
-                        children.append(child)
+                        children.append((child, (ev, partner)))
                     else:
                         search(ev)
             else:

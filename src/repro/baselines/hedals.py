@@ -16,7 +16,13 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..core.fitness import CircuitEval, EvalContext, evaluate
+from ..core.fitness import (
+    CircuitEval,
+    EvalContext,
+    ParentEvals,
+    evaluate,
+    evaluate_incremental,
+)
 from ..core.lacs import LAC, applied_copy, is_safe
 from ..core.result import IterationStats, OptimizationResult
 from ..netlist import is_const
@@ -33,6 +39,7 @@ class HedalsConfig:
     max_round_evals: int = 32  # similarity-ordered scan depth per round
     slack_fraction: float = 0.05  # paths within 5% of CPD are critical
     seed: int = 0
+    use_incremental: bool = True  # cone-limited candidate evaluation
 
 
 class HedalsLike:
@@ -51,8 +58,10 @@ class HedalsLike:
         self.config = config or HedalsConfig()
         self._evaluations = 0
 
-    def _evaluate(self, circuit) -> CircuitEval:
+    def _evaluate(self, circuit, parents: ParentEvals = None) -> CircuitEval:
         self._evaluations += 1
+        if self.config.use_incremental:
+            return evaluate_incremental(self.ctx, circuit, parents)
         return evaluate(self.ctx, circuit)
 
     def _critical_targets(self, ev: CircuitEval) -> List[int]:
@@ -90,7 +99,9 @@ class HedalsLike:
         start = time.perf_counter()
         self._evaluations = 0
 
-        current = self._evaluate(self.ctx.reference.copy())
+        current = self._evaluate(
+            self.ctx.reference.copy(), self.ctx.reference_eval()
+        )
         best = current
         history: List[IterationStats] = []
         for round_idx in range(1, cfg.max_changes + 1):
@@ -117,7 +128,7 @@ class HedalsLike:
             feasible_seen = 0
             for _sim, lac in scored[: cfg.max_round_evals]:
                 child_ev = self._evaluate(
-                    applied_copy(current.circuit, lac)
+                    applied_copy(current.circuit, lac), current
                 )
                 if child_ev.error > self.error_bound:
                     continue

@@ -18,7 +18,13 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..core.fitness import CircuitEval, EvalContext, evaluate
+from ..core.fitness import (
+    CircuitEval,
+    EvalContext,
+    ParentEvals,
+    evaluate,
+    evaluate_incremental,
+)
 from ..core.lacs import LAC, applied_copy, is_safe
 from ..core.result import IterationStats, OptimizationResult
 from ..sim import best_switch
@@ -32,6 +38,7 @@ class SasimiConfig:
     max_candidates: int = 120  # targets sampled per round
     beam: int = 8  # candidates error-checked per round
     seed: int = 0
+    use_incremental: bool = True  # cone-limited candidate evaluation
 
 
 class VecbeeSasimi:
@@ -50,8 +57,10 @@ class VecbeeSasimi:
         self.config = config or SasimiConfig()
         self._evaluations = 0
 
-    def _evaluate(self, circuit) -> CircuitEval:
+    def _evaluate(self, circuit, parents: ParentEvals = None) -> CircuitEval:
         self._evaluations += 1
+        if self.config.use_incremental:
+            return evaluate_incremental(self.ctx, circuit, parents)
         return evaluate(self.ctx, circuit)
 
     def _area_saving(self, ev: CircuitEval, lac: LAC) -> float:
@@ -87,7 +96,9 @@ class VecbeeSasimi:
         start = time.perf_counter()
         self._evaluations = 0
 
-        current = self._evaluate(self.ctx.reference.copy())
+        current = self._evaluate(
+            self.ctx.reference.copy(), self.ctx.reference_eval()
+        )
         best = current
         history: List[IterationStats] = []
         for round_idx in range(1, cfg.max_changes + 1):
@@ -97,7 +108,9 @@ class VecbeeSasimi:
             ]:
                 if saving <= 0.0:
                     continue
-                child_ev = self._evaluate(applied_copy(current.circuit, lac))
+                child_ev = self._evaluate(
+                    applied_copy(current.circuit, lac), current
+                )
                 if child_ev.error <= self.error_bound:
                     accepted = child_ev
                     break

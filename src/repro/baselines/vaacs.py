@@ -16,7 +16,13 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..core.fitness import CircuitEval, EvalContext, evaluate
+from ..core.fitness import (
+    CircuitEval,
+    EvalContext,
+    ParentEvals,
+    evaluate,
+    evaluate_incremental,
+)
 from ..core.lacs import LAC, applied_copy, is_safe
 from ..core.reproduction import LevelWeights, circuit_reproduce
 from ..core.result import IterationStats, OptimizationResult
@@ -34,6 +40,7 @@ class VaacsConfig:
     mutation_rate: float = 0.8
     elitism: int = 2
     seed: int = 0
+    use_incremental: bool = True  # cone-limited child evaluation
 
 
 class VaACS:
@@ -53,8 +60,10 @@ class VaACS:
         self._evaluations = 0
 
     # ------------------------------------------------------------------
-    def _evaluate(self, circuit) -> CircuitEval:
+    def _evaluate(self, circuit, parents: ParentEvals = None) -> CircuitEval:
         self._evaluations += 1
+        if self.config.use_incremental:
+            return evaluate_incremental(self.ctx, circuit, parents)
         return evaluate(self.ctx, circuit)
 
     def _ga_fitness(self, ev: CircuitEval) -> float:
@@ -108,7 +117,9 @@ class VaACS:
                 if lac is not None
                 else reference.copy()
             )
-            population.append(self._evaluate(child))
+            population.append(
+                self._evaluate(child, self.ctx.reference_eval())
+            )
 
         best: Optional[CircuitEval] = None
 
@@ -128,11 +139,13 @@ class VaACS:
             next_pop: List[CircuitEval] = ranked[: cfg.elitism]
             while len(next_pop) < cfg.population_size:
                 parent_a = self._tournament(population, rng)
+                parents = (parent_a,)
                 if rng.random() < cfg.crossover_rate:
                     parent_b = self._tournament(population, rng)
                     child = circuit_reproduce(
                         parent_a, parent_b, self.ctx, weights
                     )
+                    parents = (parent_a, parent_b)
                 else:
                     child = parent_a.circuit.copy()
                 if rng.random() < cfg.mutation_rate:
@@ -140,7 +153,10 @@ class VaACS:
                     lac = self._mutate(child, values, rng)
                     if lac is not None:
                         child = applied_copy(child, lac)
-                ev = self._evaluate(child)
+                # Crossover stamps provenance against the fitter parent
+                # and a follow-up mutation folds into the same record, so
+                # offering both parents always covers the match.
+                ev = self._evaluate(child, parents)
                 consider(ev)
                 next_pop.append(ev)
             population = next_pop
@@ -158,7 +174,9 @@ class VaACS:
             )
 
         if best is None:
-            best = self._evaluate(reference.copy())
+            best = self._evaluate(
+                reference.copy(), self.ctx.reference_eval()
+            )
         return OptimizationResult(
             method=self.method_name,
             best=best,

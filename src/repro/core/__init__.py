@@ -10,7 +10,13 @@ from .analysis import (
     pareto_front,
 )
 from .dcgwo import DCGWO, DCGWOConfig
-from .fitness import CircuitEval, DepthMode, EvalContext, evaluate
+from .fitness import (
+    CircuitEval,
+    DepthMode,
+    EvalContext,
+    evaluate,
+    evaluate_incremental,
+)
 from .lacs import LAC, applied_copy, apply_lac, is_safe
 from .pareto import (
     crowding_distance,
@@ -62,6 +68,7 @@ __all__ = [
     "DepthMode",
     "EvalContext",
     "evaluate",
+    "evaluate_incremental",
     "LAC",
     "applied_copy",
     "apply_lac",

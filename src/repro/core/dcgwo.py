@@ -21,11 +21,18 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Set
+from typing import List, Optional, Set, Tuple
 
 from ..netlist import Circuit
 from ..sim import best_switch
-from .fitness import CircuitEval, DepthMode, EvalContext, evaluate
+from .fitness import (
+    CircuitEval,
+    DepthMode,
+    EvalContext,
+    ParentEvals,
+    evaluate,
+    evaluate_incremental,
+)
 from .lacs import LAC, applied_copy, is_safe
 from .pareto import nsga2_select
 from .population import (
@@ -60,6 +67,7 @@ class DCGWOConfig:
     use_relaxation: bool = True  # ablation hook
     use_crowding: bool = True  # ablation hook: False = plain fitness sort
     use_reproduction: bool = True  # ablation hook: False = searching only
+    use_incremental: bool = True  # cone-limited child evaluation
     enable_simplification: bool = False  # extension: in-place gate rewrites
     simplification_rate: float = 0.3  # P(simplify) per search action
 
@@ -88,8 +96,18 @@ class DCGWO:
         self._evaluations = 0
 
     # ------------------------------------------------------------------
-    def _evaluate(self, circuit: Circuit) -> CircuitEval:
+    def _evaluate(
+        self, circuit: Circuit, parents: ParentEvals = None
+    ) -> CircuitEval:
+        """Evaluate one candidate, cone-limited when a parent is known.
+
+        With ``use_incremental`` (the default) and a valid provenance
+        record, only the changed gates' fan-out cones are resimulated
+        and retimed; results are bit-identical to the full path.
+        """
         self._evaluations += 1
+        if self.config.use_incremental:
+            return evaluate_incremental(self.ctx, circuit, parents)
         return evaluate(self.ctx, circuit)
 
     def _random_lac(
@@ -131,11 +149,15 @@ class DCGWO:
             if key in seen:
                 continue
             seen.add(key)
-            population.append(self._evaluate(child))
+            population.append(
+                self._evaluate(child, self.ctx.reference_eval())
+            )
         if not population:
             # Degenerate circuit with no admissible LAC: seed with the
             # accurate circuit itself so the optimizer still terminates.
-            population.append(self._evaluate(reference.copy()))
+            population.append(
+                self._evaluate(reference.copy(), self.ctx.reference_eval())
+            )
         return population
 
     # ------------------------------------------------------------------
@@ -146,8 +168,10 @@ class DCGWO:
         rng: random.Random,
         weights: LevelWeights,
         seen: Optional[Set[int]] = None,
-    ) -> List[Circuit]:
-        """Run both chases plus the leader search; returns new circuits.
+    ) -> List[Tuple[Circuit, Tuple[CircuitEval, ...]]]:
+        """Run both chases plus the leader search; returns new circuits,
+        each paired with the parent eval(s) it derives from so the main
+        loop can evaluate it incrementally.
 
         ``seen`` holds structure keys already in the candidate pool; a
         searched child that duplicates one is re-drawn (fresh random
@@ -157,7 +181,7 @@ class DCGWO:
         cfg = self.config
         division = divide_population(population)
         a = scaling_factor(iteration, cfg.imax)
-        children: List[Circuit] = []
+        children: List[Tuple[Circuit, Tuple[CircuitEval, ...]]] = []
         seen_keys: Set[int] = seen if seen is not None else set()
 
         def search(ev: CircuitEval) -> None:
@@ -178,7 +202,7 @@ class DCGWO:
                 key = child.structure_key()
                 if key not in seen_keys:
                     seen_keys.add(key)
-                    children.append(child)
+                    children.append((child, (ev,)))
                     return
 
         def reproduce(ev: CircuitEval) -> None:
@@ -200,7 +224,7 @@ class DCGWO:
                 search(ev)
                 return
             seen_keys.add(key)
-            children.append(child)
+            children.append((child, (ev, partner)))
 
         # Chase 1: elites consult the leader.
         for ev in division.elites:
@@ -284,12 +308,12 @@ class DCGWO:
             )
             child_evals: List[CircuitEval] = []
             evaluated: Set[int] = set()
-            for child in children:
+            for child, parents in children:
                 key = child.structure_key()
                 if key in evaluated:
                     continue
                 evaluated.add(key)
-                child_evals.append(self._evaluate(child))
+                child_evals.append(self._evaluate(child, parents))
             for ev in child_evals:
                 consider(ev)
             candidates = population + child_evals
@@ -310,7 +334,9 @@ class DCGWO:
         if best is None:
             # No feasible approximation found: fall back to the accurate
             # circuit (zero error, ratio 1.0) so downstream stages work.
-            best = self._evaluate(self.ctx.reference.copy())
+            best = self._evaluate(
+                self.ctx.reference.copy(), self.ctx.reference_eval()
+            )
         return OptimizationResult(
             method=self.method_name,
             best=best,

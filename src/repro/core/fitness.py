@@ -7,13 +7,25 @@ and what the paper optimises); a unit-depth mode exists for ablations.
 An :class:`EvalContext` bundles everything an evaluation needs — library,
 STA engine, Monte-Carlo vectors, the accurate circuit's reference outputs
 and baselines — so optimizers stay stateless and comparable.
+
+Two evaluation paths produce bit-identical results:
+
+* :func:`evaluate` — full STA + full simulation, always available;
+* :func:`evaluate_incremental` — when the circuit carries a valid
+  provenance record pointing at an already-evaluated parent, only the
+  transitive fan-out cone of the changed gates is resimulated
+  (:func:`repro.sim.resimulate_cone`) and retimed
+  (:func:`repro.sta.update_timing`), the VECBEE-style trick that makes
+  per-candidate evaluation cost proportional to the perturbation rather
+  than the circuit.  It falls back to the full path whenever the
+  provenance is missing, stale, or no matching parent eval is supplied.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,10 +38,11 @@ from ..sim import (
     per_po_error,
     po_words,
     random_vectors,
+    resimulate_cone,
     simulate,
 )
 from ..sim.bitsim import ValueMap
-from ..sta import STAEngine, TimingReport
+from ..sta import STAEngine, TimingReport, update_timing
 
 #: Guard against division by zero on fully-degenerate circuits.
 _EPS = 1e-9
@@ -56,13 +69,39 @@ class EvalContext:
     depth_ori: float
     area_ori: float
     cpd_ori: float
+    reference_report: Optional[TimingReport] = None
     wd: float = 0.8
     depth_mode: DepthMode = DepthMode.DELAY
+    _reference_eval: Optional["CircuitEval"] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def wa(self) -> float:
         """Area weight; the paper fixes ``wa = 1 - wd``."""
         return 1.0 - self.wd
+
+    def reference_eval(self) -> "CircuitEval":
+        """The accurate circuit's own :class:`CircuitEval`, lazily built.
+
+        This is the root parent for incremental evaluation: children
+        forked straight from the reference (initial populations, greedy
+        loops) resimulate only their changed cones against it.  Rebuilt
+        if the reference circuit was mutated since (it never should be).
+        """
+        ev = self._reference_eval
+        if (
+            ev is not None
+            and ev.circuit is self.reference
+            and ev.circuit_version == self.reference.version
+        ):
+            return ev
+        report = self.reference_report
+        if report is None or report.circuit is not self.reference:
+            report = self.sta.analyze(self.reference)
+        ev = _finish_eval(self, self.reference, report, self.reference_values)
+        self._reference_eval = ev
+        return ev
 
     @classmethod
     def build(
@@ -102,6 +141,7 @@ class EvalContext:
             depth_ori=depth_ori,
             area_ori=circuit.area(library),
             cpd_ori=report.cpd,
+            reference_report=report,
             wd=wd,
             depth_mode=depth_mode,
         )
@@ -126,6 +166,9 @@ class CircuitEval:
     fd: float
     fa: float
     fitness: float
+    #: Structure version of ``circuit`` at evaluation time; incremental
+    #: evaluation refuses a parent eval whose circuit mutated since.
+    circuit_version: int = 0
 
     @property
     def cpd(self) -> float:
@@ -133,10 +176,20 @@ class CircuitEval:
         return self.report.cpd
 
 
-def evaluate(ctx: EvalContext, circuit: Circuit) -> CircuitEval:
-    """STA + simulation + error + Eq. 8 fitness for one circuit."""
-    report = ctx.sta.analyze(circuit)
-    values = simulate(circuit, ctx.vectors)
+def _finish_eval(
+    ctx: EvalContext,
+    circuit: Circuit,
+    report: TimingReport,
+    values: ValueMap,
+) -> CircuitEval:
+    """Shared metric tail: error + area + Eq. 8 from report and values.
+
+    Both evaluation paths funnel through here so their outputs are
+    computed by the exact same float operations.  Consumes the circuit's
+    provenance record (sets it to ``None``) — once evaluated, the eval
+    itself is the parent future children derive from, and dropping the
+    record releases the reference chain to older ancestors.
+    """
     app_po = po_words(circuit, values)
     nv = ctx.vectors.num_vectors
     error = measure_error(ctx.error_mode, ctx.reference_po, app_po, nv)
@@ -150,6 +203,7 @@ def evaluate(ctx: EvalContext, circuit: Circuit) -> CircuitEval:
     fd = ctx.depth_ori / max(depth, _EPS)
     fa = ctx.area_ori / max(area, _EPS)
     fitness = ctx.wd * fd + ctx.wa * fa
+    circuit.provenance = None
     return CircuitEval(
         circuit=circuit,
         report=report,
@@ -161,4 +215,61 @@ def evaluate(ctx: EvalContext, circuit: Circuit) -> CircuitEval:
         fd=fd,
         fa=fa,
         fitness=fitness,
+        circuit_version=circuit.version,
     )
+
+
+def evaluate(ctx: EvalContext, circuit: Circuit) -> CircuitEval:
+    """STA + simulation + error + Eq. 8 fitness for one circuit."""
+    report = ctx.sta.analyze(circuit)
+    values = simulate(circuit, ctx.vectors)
+    return _finish_eval(ctx, circuit, report, values)
+
+
+#: What optimizers may pass as the parent(s) of a candidate evaluation.
+ParentEvals = Union["CircuitEval", Sequence["CircuitEval"], None]
+
+
+def _match_parent(
+    circuit: Circuit, parents: Iterable[CircuitEval]
+) -> Optional[Tuple["CircuitEval", FrozenSet[int]]]:
+    """Find the parent eval the circuit's provenance record points at."""
+    prov = circuit.valid_provenance()
+    if prov is None:
+        return None
+    for parent in parents:
+        if parent is None:
+            continue
+        if (
+            prov.parent is parent.circuit
+            and prov.parent_version == parent.circuit_version
+        ):
+            return parent, prov.changed
+    return None
+
+
+def evaluate_incremental(
+    ctx: EvalContext, circuit: Circuit, parent_eval: ParentEvals = None
+) -> CircuitEval:
+    """Cone-limited evaluation against an already-evaluated parent.
+
+    ``parent_eval`` may be a single :class:`CircuitEval` or a sequence of
+    candidates (e.g. both reproduction parents); the one matching the
+    circuit's provenance record is used.  Only the transitive fan-out of
+    the changed gates is resimulated and retimed — results are
+    bit-identical to :func:`evaluate` (pinned by property tests).  Falls
+    back to the full path when no valid parent is available.
+    """
+    if parent_eval is None:
+        parents: Sequence[CircuitEval] = ()
+    elif isinstance(parent_eval, CircuitEval):
+        parents = (parent_eval,)
+    else:
+        parents = tuple(parent_eval)
+    match = _match_parent(circuit, parents)
+    if match is None:
+        return evaluate(ctx, circuit)
+    parent, changed = match
+    values = resimulate_cone(circuit, ctx.vectors, parent.values, changed)
+    report = update_timing(ctx.sta, circuit, parent.report, changed)
+    return _finish_eval(ctx, circuit, report, values)

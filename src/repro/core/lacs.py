@@ -75,7 +75,15 @@ def apply_lac(circuit: Circuit, lac: LAC) -> List[int]:
 
 
 def applied_copy(circuit: Circuit, lac: LAC, name: Optional[str] = None) -> Circuit:
-    """Copy-and-apply convenience used when forking population members."""
+    """Copy-and-apply convenience used when forking population members.
+
+    The child carries a provenance record whose ``changed`` set is the
+    rewritten consumer gates (merged with any delta the source circuit
+    already carried), enabling cone-limited incremental evaluation.
+    """
     child = circuit.copy(name)
-    apply_lac(child, lac)
+    base_version = child.version
+    rewritten = apply_lac(child, lac)
+    # substitute() performs exactly one fan-in write per rewritten gate.
+    child.extend_provenance(rewritten, base_version, len(rewritten))
     return child

@@ -104,14 +104,27 @@ def circuit_reproduce(
     choices.sort(key=lambda item: (-item[0], item[1]))
 
     written: set = set()
+    changed: set = set()
+    base_version = child.version
+    writes = 0
     for _, po, parent in choices:
         for gid in parent.transitive_fanin(po, include_self=True):
             if gid in written:
                 continue
-            child.fanins[gid] = parent.fanins[gid]
-            if not child.is_po(gid):
-                child.cells[gid] = parent.cells[gid]
             written.add(gid)
+            # Skip no-op writes: the child starts as a copy of ``base``,
+            # so a differing current value means "differs from base" —
+            # exactly the changed set incremental evaluation needs (and
+            # skipping identical writes avoids needless cache churn).
+            if child.fanins[gid] != parent.fanins[gid]:
+                child.fanins[gid] = parent.fanins[gid]
+                changed.add(gid)
+                writes += 1
+            if not child.is_po(gid) and child.cells[gid] != parent.cells[gid]:
+                child.cells[gid] = parent.cells[gid]
+                changed.add(gid)
+                writes += 1
+    child.extend_provenance(changed, base_version, writes)
     return child
 
 

@@ -159,7 +159,14 @@ def apply_simplification(circuit: Circuit, simp: Simplification) -> List[int]:
 def simplified_copy(
     circuit: Circuit, simp: Simplification, name: Optional[str] = None
 ) -> Circuit:
-    """Copy-and-apply convenience mirroring ``applied_copy`` for LACs."""
+    """Copy-and-apply convenience mirroring ``applied_copy`` for LACs.
+
+    Like ``applied_copy``, the child carries provenance (the rewritten
+    gate) so evaluation can resimulate only the gate's fan-out cone.
+    """
     child = circuit.copy(name)
-    apply_simplification(child, simp)
+    base_version = child.version
+    changed = apply_simplification(child, simp)
+    # apply_simplification writes the cell and the fan-in tuple: 2 writes.
+    child.extend_provenance(changed, base_version, 2)
     return child

@@ -8,6 +8,7 @@ from .circuit import (
     PO_CELL,
     Circuit,
     CircuitLoopError,
+    Provenance,
     is_const,
 )
 from .scoap import (
@@ -45,6 +46,7 @@ __all__ = [
     "PO_CELL",
     "Circuit",
     "CircuitLoopError",
+    "Provenance",
     "is_const",
     "cone_adjacency",
     "po_cone",

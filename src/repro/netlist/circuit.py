@@ -11,12 +11,33 @@ rewrites.  This module implements that representation:
 * Constants are the reserved IDs :data:`CONST0` / :data:`CONST1`; they may
   appear inside fan-in tuples but own no gate record (the paper treats
   constant '0'/'1' as switch gates).
+
+Because every optimizer hot path (simulation, STA, area, LAC safety
+checks) asks the same O(V+E) graph questions between mutations, the
+class memoizes them behind a *structure version* counter: any write to
+the fan-in adjacency or cell map — through the mutator methods or by
+direct ``circuit.fanins[gid] = ...`` assignment — bumps the version and
+lazily invalidates every cached answer.  Cached containers are returned
+by reference and must be treated as read-only by callers.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 #: Reserved fan-in ID for the constant logic value '0'.
 CONST0 = -1
@@ -33,6 +54,76 @@ def is_const(gid: int) -> bool:
     return gid == CONST0 or gid == CONST1
 
 
+class _TrackedDict(dict):
+    """A dict that bumps its owning circuit's structure version on writes.
+
+    Reads stay plain C-speed dict lookups; only the mutating entry points
+    are wrapped.  This is what lets code like ``circuit.fanins[gid] = fis``
+    (the reproduction operator's cone writes) invalidate the structural
+    caches without routing every caller through mutator methods.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "Circuit", *args: Any):
+        super().__init__(*args)
+        self._owner = owner
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        super().__setitem__(key, value)
+        self._owner._version += 1
+
+    def __delitem__(self, key: Any) -> None:
+        super().__delitem__(key)
+        self._owner._version += 1
+
+    def pop(self, *args: Any) -> Any:
+        result = super().pop(*args)
+        self._owner._version += 1
+        return result
+
+    def popitem(self) -> Any:
+        result = super().popitem()
+        self._owner._version += 1
+        return result
+
+    def clear(self) -> None:
+        super().clear()
+        self._owner._version += 1
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        super().update(*args, **kwargs)
+        self._owner._version += 1
+
+    def setdefault(self, key: Any, default: Any = None) -> Any:
+        if key in self:
+            return self[key]
+        self[key] = default  # routes through __setitem__
+        return default
+
+    def __ior__(self, other: Any) -> "_TrackedDict":
+        # dict.__ior__ merges at C level, bypassing __setitem__.
+        self.update(other)
+        return self
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Derivation record: how a circuit differs from its parent.
+
+    ``changed`` holds the IDs of every gate whose fan-in tuple or library
+    cell was rewritten relative to ``parent`` — exactly the dirty set an
+    incremental resimulation (:func:`repro.sim.resimulate_cone`) or
+    timing update (:func:`repro.sta.update_timing`) needs.
+    ``parent_version`` snapshots the parent's structure version so a
+    later mutation of the parent invalidates the record.
+    """
+
+    parent: "Circuit"
+    parent_version: int
+    changed: FrozenSet[int]
+
+
 class Circuit:
     """A combinational gate-level netlist as fan-in adjacency lists.
 
@@ -44,13 +135,58 @@ class Circuit:
 
     def __init__(self, name: str = "top"):
         self.name = name
-        self.fanins: Dict[int, Tuple[int, ...]] = {}
-        self.cells: Dict[int, str] = {}
+        self._version = 0
+        self._cache_version = -1
+        self._cache: Dict[str, Any] = {}
+        self._fanins: _TrackedDict = _TrackedDict(self)
+        self._cells: _TrackedDict = _TrackedDict(self)
         self.pi_ids: List[int] = []
         self.po_ids: List[int] = []
         self.pi_names: Dict[int, str] = {}
         self.po_names: Dict[int, str] = {}
         self._next_id = 1
+        self.provenance: Optional[Provenance] = None
+        self._prov_version = -1
+
+    # ------------------------------------------------------------------
+    # structure version / caching
+    # ------------------------------------------------------------------
+    @property
+    def fanins(self) -> Dict[int, Tuple[int, ...]]:
+        """Fan-in adjacency; writes (even direct) bump the version."""
+        return self._fanins
+
+    @fanins.setter
+    def fanins(self, mapping: Dict[int, Tuple[int, ...]]) -> None:
+        self._fanins = _TrackedDict(self, mapping)
+        self._version += 1
+
+    @property
+    def cells(self) -> Dict[int, str]:
+        """Cell name per gate; writes (even direct) bump the version."""
+        return self._cells
+
+    @cells.setter
+    def cells(self, mapping: Dict[int, str]) -> None:
+        self._cells = _TrackedDict(self, mapping)
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic structure version; bumps on every structural write."""
+        return self._version
+
+    def _cached(self, key: str) -> Any:
+        """Fetch a memoized value, flushing stale entries lazily."""
+        if self._cache_version != self._version:
+            self._cache.clear()
+            self._cache_version = self._version
+        return self._cache.get(key)
+
+    def _store(self, key: str, value: Any) -> Any:
+        """Store a value computed at the current version (post-_cached)."""
+        self._cache[key] = value
+        return value
 
     # ------------------------------------------------------------------
     # construction
@@ -131,27 +267,37 @@ class Circuit:
     def fanouts(self) -> Dict[int, List[int]]:
         """Map each gate to the gates that consume its output.
 
-        Constants are included as keys when referenced.
+        Constants are included as keys when referenced.  Memoized per
+        structure version; treat the returned dict as read-only.
         """
-        out: Dict[int, List[int]] = {gid: [] for gid in self.fanins}
-        for gid, fis in self.fanins.items():
+        cached = self._cached("fanouts")
+        if cached is not None:
+            return cached
+        out: Dict[int, List[int]] = {gid: [] for gid in self._fanins}
+        for gid, fis in self._fanins.items():
             for fi in fis:
-                if is_const(fi):
+                # Constants are the only negative IDs (checked at insert
+                # time), so `fi < 0` is is_const() without the call.
+                if fi < 0:
                     out.setdefault(fi, []).append(gid)
                 else:
                     out[fi].append(gid)
-        return out
+        return self._store("fanouts", out)
 
     def topological_order(self) -> List[int]:
         """Gate IDs in topological order (fan-ins before fan-outs).
 
         Raises :class:`CircuitLoopError` when the adjacency contains a
         combinational loop — the violation the paper's integer-ID scheme
-        is designed to check for.
+        is designed to check for.  Memoized per structure version; treat
+        the returned list as read-only.
         """
+        cached = self._cached("topo")
+        if cached is not None:
+            return cached
         indeg: Dict[int, int] = {}
-        for gid, fis in self.fanins.items():
-            indeg[gid] = sum(1 for fi in fis if not is_const(fi))
+        for gid, fis in self._fanins.items():
+            indeg[gid] = len([fi for fi in fis if fi >= 0])
         ready = deque(sorted(g for g, d in indeg.items() if d == 0))
         fanouts = self.fanouts()
         order: List[int] = []
@@ -162,30 +308,53 @@ class Circuit:
                 indeg[fo] -= 1
                 if indeg[fo] == 0:
                     ready.append(fo)
-        if len(order) != len(self.fanins):
+        if len(order) != len(self._fanins):
             cyclic = sorted(g for g, d in indeg.items() if d > 0)
             raise CircuitLoopError(
                 f"combinational loop through gates {cyclic[:8]}"
                 + ("..." if len(cyclic) > 8 else "")
             )
-        return order
+        return self._store("topo", order)
 
-    def transitive_fanin(self, gid: int, include_self: bool = False) -> Set[int]:
-        """The TFI cone of ``gid`` (constants excluded)."""
+    def transitive_fanin(
+        self, gid: int, include_self: bool = False
+    ) -> FrozenSet[int]:
+        """The TFI cone of ``gid`` (constants excluded), memoized."""
+        cache = self._cached("tfi")
+        if cache is None:
+            cache = self._store("tfi", {})
+        key = (gid, include_self)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        fanins = self._fanins
         seen: Set[int] = set()
-        stack = [fi for fi in self.fanins.get(gid, ()) if not is_const(fi)]
+        # Constants (negative IDs) are pushed and discarded on pop: one
+        # C-level tuple extend beats a generator filter per gate.
+        stack = list(fanins.get(gid, ()))
         while stack:
             g = stack.pop()
-            if g in seen:
+            if g < 0 or g in seen:
                 continue
             seen.add(g)
-            stack.extend(fi for fi in self.fanins[g] if not is_const(fi))
+            stack.extend(fanins[g])
         if include_self:
             seen.add(gid)
-        return seen
+        result = frozenset(seen)
+        cache[key] = result
+        return result
 
-    def transitive_fanout(self, gid: int, include_self: bool = False) -> Set[int]:
-        """The TFO cone of ``gid``."""
+    def transitive_fanout(
+        self, gid: int, include_self: bool = False
+    ) -> FrozenSet[int]:
+        """The TFO cone of ``gid``, memoized per structure version."""
+        cache = self._cached("tfo")
+        if cache is None:
+            cache = self._store("tfo", {})
+        key = (gid, include_self)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
         fanouts = self.fanouts()
         seen: Set[int] = set()
         stack = list(fanouts.get(gid, ()))
@@ -197,19 +366,28 @@ class Circuit:
             stack.extend(fanouts.get(g, ()))
         if include_self:
             seen.add(gid)
-        return seen
+        result = frozenset(seen)
+        cache[key] = result
+        return result
 
-    def live_gates(self) -> Set[int]:
-        """Gates reachable backwards from any PO (POs and PIs included)."""
+    def live_gates(self) -> FrozenSet[int]:
+        """Gates reachable backwards from any PO (POs and PIs included).
+
+        Memoized per structure version; the returned set is immutable.
+        """
+        cached = self._cached("live")
+        if cached is not None:
+            return cached
+        fanins = self._fanins
         seen: Set[int] = set()
         stack = list(self.po_ids)
         while stack:
             g = stack.pop()
-            if g in seen or is_const(g):
+            if g in seen or g < 0:
                 continue
             seen.add(g)
-            stack.extend(self.fanins[g])
-        return seen
+            stack.extend(fanins[g])
+        return self._store("live", frozenset(seen))
 
     def dangling_gates(self) -> Set[int]:
         """Logic gates with no path to any PO (the paper's empty-TFO gates)."""
@@ -224,15 +402,27 @@ class Circuit:
 
         With ``live_only`` (the default) dangling gates are excluded —
         this is exactly how the paper computes ``Area_app``: the accurate
-        circuit's area minus the area of dangling gates.
+        circuit's area minus the area of dangling gates.  Memoized per
+        structure version (the library object is held as part of the key
+        so identity cannot be recycled).
         """
-        gids: Iterable[int]
-        if live_only:
-            live = self.live_gates()
-            gids = (g for g in live if self.is_logic(g))
-        else:
-            gids = (g for g in self.fanins if self.is_logic(g))
-        return sum(library.cell(self.cells[g]).area for g in gids)
+        cache = self._cached("area")
+        if cache is None:
+            cache = self._store("area", {})
+        key = (id(library), live_only)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit[1]
+        cells = self._cells
+        lib_cell = library.cell
+        gids = self.live_gates() if live_only else self._fanins
+        total = 0.0
+        for g in gids:
+            cell = cells[g]
+            if cell != PI_CELL and cell != PO_CELL:
+                total += lib_cell(cell).area
+        cache[key] = (library, total)
+        return total
 
     # ------------------------------------------------------------------
     # mutation (the LAC substrate)
@@ -274,9 +464,24 @@ class Circuit:
         self.cells[gid] = cell
 
     def remove_gate(self, gid: int) -> None:
-        """Delete a gate record.  The gate must be unreferenced."""
+        """Delete a gate record.  The gate must be unreferenced.
+
+        Raises :class:`ValueError` when the gate still appears in any
+        fan-in tuple (including PO fan-ins) — deleting a referenced gate
+        would leave consumers pointing at a nonexistent ID, the silent
+        corruption this guard exists to catch.  Delete consumers first
+        (reverse topological order) when clearing whole cones.
+        """
         if gid in self.pi_names or gid in self.po_names:
             raise ValueError("cannot remove a PI/PO")
+        if gid not in self._fanins:
+            raise KeyError(f"gate {gid} does not exist")
+        refs = [g for g, fis in self._fanins.items() if gid in fis]
+        if refs:
+            raise ValueError(
+                f"cannot remove gate {gid}: still referenced by "
+                f"{sorted(refs)[:8]}"
+            )
         del self.fanins[gid]
         del self.cells[gid]
 
@@ -284,31 +489,121 @@ class Circuit:
     # copying / identity
     # ------------------------------------------------------------------
     def copy(self, name: Optional[str] = None) -> "Circuit":
-        """Deep-copy the adjacency (cheap: tuples are shared immutably)."""
+        """Deep-copy the adjacency (cheap: tuples are shared immutably).
+
+        The copy carries a provenance record: either the source's own
+        (still-valid) record — a copy of a derived circuit is the same
+        derivation — or a fresh empty-delta record naming the source as
+        parent, so a copy-then-mutate flow can extend it into the exact
+        ``changed`` set incremental evaluation needs.
+        """
         c = Circuit(name if name is not None else self.name)
-        c.fanins = dict(self.fanins)
-        c.cells = dict(self.cells)
+        c.fanins = dict(self._fanins)
+        c.cells = dict(self._cells)
         c.pi_ids = list(self.pi_ids)
         c.po_ids = list(self.po_ids)
         c.pi_names = dict(self.pi_names)
         c.po_names = dict(self.po_names)
         c._next_id = self._next_id
+        carried = self.valid_provenance()
+        if carried is not None:
+            c.provenance = carried
+        else:
+            c.provenance = Provenance(self, self._version, frozenset())
+        c._prov_version = c._version
         return c
 
-    def structure_key(self) -> int:
-        """Order-independent hash of the live structure.
+    def __getstate__(self) -> Dict[str, Any]:
+        """Serialize with plain dicts (tracked dicts hold an owner ref).
 
-        Two circuits with identical live adjacency and cells hash equal;
-        used to deduplicate population members.
+        Caches are dropped (recomputed lazily) and so is the provenance
+        record — it is only meaningful relative to an in-memory parent
+        object and would otherwise drag whole ancestor chains through
+        pickle/deepcopy.
         """
-        live = self.live_gates()
-        items = tuple(
-            sorted(
-                (gid, self.cells[gid], self.fanins[gid])
-                for gid in live
-            )
+        state = self.__dict__.copy()
+        state["_fanins"] = dict(self._fanins)
+        state["_cells"] = dict(self._cells)
+        state["_cache"] = {}
+        state["_cache_version"] = -1
+        state["provenance"] = None
+        state["_prov_version"] = -1
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._fanins = _TrackedDict(self, state["_fanins"])
+        self._cells = _TrackedDict(self, state["_cells"])
+
+    def valid_provenance(self) -> Optional[Provenance]:
+        """The provenance record, or ``None`` when it is stale.
+
+        A record is stale when this circuit mutated after the record was
+        stamped (the ``changed`` set no longer covers the delta) or when
+        the parent itself mutated since.
+        """
+        prov = self.provenance
+        if prov is None or self._prov_version != self._version:
+            return None
+        if prov.parent._version != prov.parent_version:
+            return None
+        return prov
+
+    def extend_provenance(
+        self, changed: Iterable[int], since_version: int, writes: int
+    ) -> None:
+        """Fold freshly rewritten gate IDs into the carried provenance.
+
+        Contract: ``since_version`` is :attr:`version` as sampled right
+        after :meth:`copy`, and the declared edits performed exactly
+        ``writes`` structural writes (every tracked-dict write bumps the
+        version by one), all confined to the gates in ``changed``.  The
+        record is dropped instead of extended whenever the arithmetic
+        does not close — the parent mutated, the stamp predates
+        ``since_version``, or the version advanced by more than the
+        declared writes (an undeclared edit slipped in) — so contract
+        violations degrade to full re-evaluation rather than evaluation
+        from a wrong dirty set.  Edits made *after* this call stale the
+        record via the version check in :meth:`valid_provenance`.
+        """
+        prov = self.provenance
+        if (
+            prov is None
+            or self._prov_version != since_version
+            or self._version != since_version + writes
+            or prov.parent._version != prov.parent_version
+        ):
+            self.provenance = None
+            self._prov_version = -1
+            return
+        self.provenance = Provenance(
+            prov.parent,
+            prov.parent_version,
+            prov.changed | frozenset(changed),
         )
-        return hash(items)
+        self._prov_version = self._version
+
+    def structure_key(self) -> int:
+        """Order-independent digest of the live structure.
+
+        Two circuits with identical live adjacency and cells key equal;
+        used to deduplicate population members.  Computed with a stable
+        hash (BLAKE2b over a canonical encoding) rather than builtin
+        ``hash()`` so dedup decisions — and therefore archived results —
+        reproduce across processes regardless of ``PYTHONHASHSEED``.
+        Memoized per structure version.
+        """
+        cached = self._cached("skey")
+        if cached is not None:
+            return cached
+        live = self.live_gates()
+        items = sorted(
+            (gid, self._cells[gid], self._fanins[gid]) for gid in live
+        )
+        digest = hashlib.blake2b(
+            repr(items).encode("utf-8"), digest_size=16
+        ).digest()
+        return self._store("skey", int.from_bytes(digest, "big"))
 
     def __repr__(self) -> str:
         return (

@@ -21,8 +21,19 @@ def remove_dangling(circuit: Circuit) -> int:
     empty-TFO deletion, computed in one reachability pass.
     """
     dead = circuit.dangling_gates()
-    for gid in dead:
-        circuit.remove_gate(gid)
+    if not dead:
+        return 0
+    # Delete consumers before producers: a dangling gate may still be
+    # referenced by *other* dangling gates.  Reverse topological order
+    # guarantees every reference to a dead gate is gone by the time it
+    # is removed, so remove_gate's O(E) per-deletion reference scan is
+    # provably redundant here — delete directly (the tracked dicts
+    # still bump the structure version) to keep mass pruning linear.
+    order = circuit.topological_order()
+    for gid in reversed(order):
+        if gid in dead:
+            del circuit.fanins[gid]
+            del circuit.cells[gid]
     return len(dead)
 
 

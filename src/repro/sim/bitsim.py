@@ -13,7 +13,7 @@ from typing import Dict, Iterable, Set
 import numpy as np
 
 from ..cells import FUNCTIONS, split_cell_name
-from ..netlist import CONST0, CONST1, Circuit, is_const
+from ..netlist import CONST0, CONST1, PI_CELL, PO_CELL, Circuit, is_const
 from .vectors import VectorSet
 
 #: Map from gate id to its packed output words.
@@ -42,14 +42,19 @@ def simulate(circuit: Circuit, vectors: VectorSet) -> ValueMap:
     values: ValueMap = _const_rows(vectors.num_words)
     for row, pi in enumerate(circuit.pi_ids):
         values[pi] = vectors.words[row]
+    # Local bindings: this loop visits every gate of every evaluated
+    # candidate, so attribute/property lookups are hoisted out.
+    fanins = circuit.fanins
+    cells = circuit.cells
     for gid in circuit.topological_order():
-        if circuit.is_pi(gid):
+        cell = cells[gid]
+        if cell == PI_CELL:
             continue
-        fis = circuit.fanins[gid]
-        if circuit.is_po(gid):
+        fis = fanins[gid]
+        if cell == PO_CELL:
             values[gid] = values[fis[0]]
             continue
-        function, _ = split_cell_name(circuit.cells[gid])
+        function, _ = split_cell_name(cell)
         values[gid] = FUNCTIONS[function].word_eval(
             [values[fi] for fi in fis]
         )
@@ -79,14 +84,19 @@ def resimulate_cone(
     values.update(_const_rows(vectors.num_words))
     for row, pi in enumerate(circuit.pi_ids):
         values[pi] = vectors.words[row]
+    fanins = circuit.fanins
+    cells = circuit.cells
     for gid in circuit.topological_order():
-        if gid not in dirty or circuit.is_pi(gid):
+        if gid not in dirty:
             continue
-        fis = circuit.fanins[gid]
-        if circuit.is_po(gid):
+        cell = cells[gid]
+        if cell == PI_CELL:
+            continue
+        fis = fanins[gid]
+        if cell == PO_CELL:
             values[gid] = values[fis[0]]
             continue
-        function, _ = split_cell_name(circuit.cells[gid])
+        function, _ = split_cell_name(cell)
         values[gid] = FUNCTIONS[function].word_eval(
             [values[fi] for fi in fis]
         )

@@ -10,9 +10,11 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Tuple
 
-from ..netlist import CONST0, CONST1, Circuit
+import numpy as np
+
+from ..netlist import CONST0, CONST1, PO_CELL, Circuit
 from .bitsim import ValueMap
-from .vectors import count_ones
+from .vectors import count_ones, popcount_rows, tail_masked
 
 
 def similarity(
@@ -44,14 +46,27 @@ def rank_switches(
     Candidates default to the target's transitive fan-in (which guarantees
     the substitution cannot create a combinational loop) plus constants.
     Ties break on smaller |gate id| for determinism.
+
+    The whole table is computed with one batched XOR + population count
+    over the stacked candidate rows rather than a Python loop per
+    candidate; the scores are bit-identical to the scalar
+    :func:`similarity` formula (same integer counts, same division).
     """
     if candidates is None:
         candidates = circuit.transitive_fanin(target)
+    cells = circuit.cells
+    kept = [
+        cand
+        for cand in candidates
+        if cand != target and cells.get(cand) != PO_CELL
+    ]
     scored: List[Tuple[int, float]] = []
-    for cand in candidates:
-        if cand == target or circuit.is_po(cand):
-            continue
-        scored.append((cand, similarity(values, cand, target, num_vectors)))
+    if kept:
+        stacked = np.stack([values[c] for c in kept])
+        diff = stacked ^ values[target][np.newaxis, :]
+        counts = popcount_rows(tail_masked(diff, num_vectors))
+        sims = 1.0 - counts / float(num_vectors)
+        scored = [(c, float(s)) for c, s in zip(kept, sims)]
     if include_constants:
         sim0, sim1 = constant_similarities(values, target, num_vectors)
         scored.append((CONST0, sim0))

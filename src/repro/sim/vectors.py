@@ -117,3 +117,29 @@ def count_ones(row: np.ndarray, num_vectors: int) -> int:
     if hasattr(np, "bitwise_count"):
         return int(np.bitwise_count(row).sum())
     return int(np.unpackbits(row.view(np.uint8)).sum())
+
+
+def tail_masked(packed: np.ndarray, num_vectors: int) -> np.ndarray:
+    """Zero the padding bits beyond ``num_vectors`` in packed rows.
+
+    Works on 1-D rows and 2-D row matrices (last axis = words); returns
+    the input unchanged when the final word is fully populated.
+    """
+    rem = num_vectors % 64
+    if rem:
+        packed = packed.copy()
+        packed[..., -1] &= np.uint64((1 << rem) - 1)
+    return packed
+
+
+def popcount_rows(packed: np.ndarray) -> np.ndarray:
+    """Per-row population count of a packed 2-D uint64 array.
+
+    Callers mask tail bits first (:func:`tail_masked`).  Uses the
+    hardware popcount when numpy >= 2.0 provides it.
+    """
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(packed).sum(axis=1, dtype=np.int64)
+    return np.unpackbits(
+        packed.view(np.uint8).reshape(packed.shape[0], -1), axis=1
+    ).sum(axis=1, dtype=np.int64)

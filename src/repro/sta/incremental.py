@@ -23,6 +23,60 @@ from .analyzer import STAEngine, TimingReport
 _TOL = 1e-12
 
 
+def _incremental_loads(
+    engine: STAEngine,
+    circuit: Circuit,
+    previous: TimingReport,
+    changed: Iterable[int],
+) -> dict:
+    """Load map of ``circuit``, rederiving only perturbed drivers.
+
+    A fan-in rewrite or cell swap at gate ``g`` perturbs the loads of
+    ``g``'s old and new fan-ins only; every other driver keeps the load
+    ``previous`` recorded.  Requires ``previous.circuit`` to be the
+    *parent* object (so the old fan-in tuples are still readable) — for
+    in-place edits the full O(E) recompute runs instead.  Accumulation
+    order per driver matches :meth:`STAEngine.compute_loads` exactly, so
+    the resulting floats are bit-identical to a full recompute.
+    """
+    parent = previous.circuit
+    if parent is circuit:
+        return engine.compute_loads(circuit)
+    parent_fanins = parent.fanins
+    child_fanins = circuit.fanins
+    drivers = set()
+    for g in changed:
+        drivers.update(parent_fanins.get(g, ()))
+        drivers.update(child_fanins.get(g, ()))
+    loads = dict(previous.load)
+    # Deleted gates stop loading their former fan-ins; added gates load
+    # theirs and need a load entry of their own.  Both are discovered
+    # from the adjacency diff so callers need not list them in
+    # ``changed`` (matching the full-recompute contract).
+    for stale in set(loads) - set(child_fanins):
+        del loads[stale]
+        drivers.update(parent_fanins.get(stale, ()))
+    for fresh in set(child_fanins) - set(loads):
+        drivers.add(fresh)
+        drivers.update(child_fanins.get(fresh, ()))
+    fanouts = circuit.fanouts()
+    cells = circuit.cells
+    lib_cell = engine.library.cell
+    wire = engine.wire_cap_per_fanout
+    for d in drivers:
+        if is_const(d) or d not in child_fanins:
+            continue
+        total = 0.0
+        for consumer in fanouts.get(d, ()):
+            if circuit.is_po(consumer):
+                pin_cap = engine.po_load
+            else:
+                pin_cap = lib_cell(cells[consumer]).input_cap
+            total += pin_cap + wire
+        loads[d] = total
+    return loads
+
+
 def update_timing(
     engine: STAEngine,
     circuit: Circuit,
@@ -31,12 +85,14 @@ def update_timing(
 ) -> TimingReport:
     """Recompute timing after edits to ``changed_gates``' fan-ins/cells.
 
-    ``previous`` must describe the same circuit object before the edit.
-    Load changes are discovered automatically by re-deriving the load
-    map, so callers only list gates whose fan-in tuple or library cell
-    was rewritten.
+    ``previous`` must describe either the same circuit object before an
+    in-place edit, or the parent a copy was forked from.  Load changes
+    are discovered automatically by re-deriving the load map (only
+    around the changed gates when the parent is available), so callers
+    only list gates whose fan-in tuple or library cell was rewritten.
     """
-    loads = engine.compute_loads(circuit)
+    changed_gates = list(changed_gates)
+    loads = _incremental_loads(engine, circuit, previous, changed_gates)
     dirty: Set[int] = set()
     for gid in changed_gates:
         if not is_const(gid) and gid in circuit.fanins:
@@ -57,22 +113,39 @@ def update_timing(
         depth.pop(stale, None)
         critical_fanin.pop(stale, None)
 
+    # Nothing perturbed and no new gates: the previous timing stands.
+    if not dirty and len(arrival) == len(circuit.fanins):
+        return TimingReport(
+            circuit=circuit,
+            arrival=arrival,
+            slew=slew,
+            load=loads,
+            unit_depth=depth,
+            critical_fanin=critical_fanin,
+        )
+
     def source_timing(gid: int) -> Tuple[float, float, int]:
         if is_const(gid):
             return 0.0, engine.input_slew, 0
         return arrival[gid], slew[gid], depth[gid]
 
+    fanins = circuit.fanins
     dirty_or_downstream = set(dirty)
     for gid in circuit.topological_order():
-        fis = circuit.fanins[gid]
-        affected = gid in dirty_or_downstream or any(
-            fi in dirty_or_downstream for fi in fis if not is_const(fi)
-        )
+        fis = fanins[gid]
+        if gid in dirty_or_downstream:
+            affected = True
+        else:
+            affected = False
+            for fi in fis:
+                # Constants (negative IDs) are never dirty.
+                if fi >= 0 and fi in dirty_or_downstream:
+                    affected = True
+                    break
         if not affected:
             # New gates (none today, future-proofing) must be computed.
             if gid in arrival:
                 continue
-            affected = True
         if circuit.is_pi(gid):
             arrival[gid] = 0.0
             slew[gid] = engine.input_slew
