@@ -19,7 +19,7 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro import FlowConfig, compare_methods
+from repro import FlowConfig, Session
 from repro.bench import SUITE, build_benchmark
 from repro.cells import default_library
 from repro.reporting import ComparisonRow, format_comparison_table
@@ -87,9 +87,8 @@ def run_comparison_table(
     for name in circuit_names:
         accurate = build_benchmark(name, profile())
         cfg = flow_config(mode, bound)
-        results = compare_methods(
-            accurate, methods=methods, config=cfg, library=library
-        )
+        session = Session(accurate, config=cfg, library=library)
+        results = session.compare(methods)
         row = ComparisonRow(
             circuit=name, area_con=results[methods[0]].area_ori
         )

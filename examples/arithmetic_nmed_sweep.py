@@ -5,15 +5,23 @@ Sweeps the NMED bound over the paper's five constraint points on a 16-bit
 adder and a 16-bit max unit, comparing DCGWO against the HEDALS-style
 depth-driven baseline — a miniature of the paper's Fig. 7(b).
 
+One :class:`repro.Session` is opened per (circuit, bound) point, and both
+methods run against that shared evaluation context — the reference
+simulation and STA baseline are built once per point instead of once per
+(method, point), exactly the sharing the paper's experimental setup
+prescribes.
+
 Run with ``python examples/arithmetic_nmed_sweep.py``.
 """
 
-from repro import ErrorMode, FlowConfig, run_flow
+from repro import ErrorMode, FlowConfig, Session
 from repro.bench import max_2to1_circuit, ripple_adder_circuit
 from repro.reporting import format_series
 
 #: The paper's NMED sweep (Fig. 7b), in fractional units.
 NMED_POINTS = [0.0048, 0.0098, 0.0147, 0.0196, 0.0244]
+
+METHODS = ("HEDALS", "Ours")
 
 def main() -> None:
     circuits = {
@@ -21,17 +29,16 @@ def main() -> None:
         "max16": max_2to1_circuit(16, "max16"),
     }
     for name, accurate in circuits.items():
-        series = {"HEDALS": [], "Ours": []}
+        series = {method: [] for method in METHODS}
         for bound in NMED_POINTS:
-            for method in series:
-                config = FlowConfig(
-                    error_mode=ErrorMode.NMED,
-                    error_bound=bound,
-                    num_vectors=2048,
-                    effort=0.4,
-                    seed=1,
-                )
-                result = run_flow(accurate, method=method, config=config)
+            session = Session(accurate, FlowConfig(
+                error_mode=ErrorMode.NMED,
+                error_bound=bound,
+                num_vectors=2048,
+                effort=0.4,
+                seed=1,
+            ))
+            for method, result in session.compare(METHODS).items():
                 series[method].append(result.ratio_cpd)
         print()
         print(format_series(

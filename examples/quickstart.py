@@ -1,45 +1,58 @@
 #!/usr/bin/env python3
 """Quickstart: approximate a 16-bit adder for timing under an NMED bound.
 
-Runs the paper's full pipeline on one circuit:
+Runs the paper's full pipeline on one circuit through the ``Session``
+facade:
 
 1. build the accurate gate-level netlist (a mapped ripple-carry adder);
-2. run the double-chase grey wolf optimizer under a 2.44 % NMED bound;
-3. post-optimize (delete dangling gates, resize under the original area);
-4. report CPD / area / error before and after, plus the critical path.
+2. open a :class:`repro.Session` (reference simulation + STA baseline);
+3. run the double-chase grey wolf optimizer under a 2.44 % NMED bound,
+   streaming per-iteration progress through a ``RunCallback``;
+4. post-optimize (delete dangling gates, resize under the original area);
+5. report CPD / area / error before and after, plus the critical path.
 
 Run with ``python examples/quickstart.py``.  Takes a few seconds.
 """
 
-from repro import ErrorMode, FlowConfig, run_flow
+from repro import ErrorMode, FlowConfig, RunCallback, Session
 from repro.bench import ripple_adder_circuit
 from repro.netlist import write_verilog
 from repro.sta import format_path
+
+
+class Progress(RunCallback):
+    """Minimal streaming consumer: one line per optimizer iteration."""
+
+    def on_iteration(self, event) -> None:
+        print(f"  iter {event.iteration}/{event.total_iterations}: "
+              f"fitness {event.stats.best_fitness:.4f}, "
+              f"error {event.stats.best_error:.5f}, "
+              f"{event.stats.evaluations} evaluations")
+
 
 def main() -> None:
     accurate = ripple_adder_circuit(16, "adder16")
     print(f"accurate circuit: {accurate}")
 
-    config = FlowConfig(
+    session = Session(accurate, FlowConfig(
         error_mode=ErrorMode.NMED,
         error_bound=0.0244,  # the paper's loosest NMED constraint
         num_vectors=2048,
         effort=0.5,  # half-scale population/iterations for a quick demo
         seed=0,
-    )
-    result = run_flow(accurate, method="Ours", config=config)
+    ))
+    result = session.run("Ours", callbacks=Progress())
 
     print(f"\nCPD:   {result.cpd_ori:8.2f} ps -> {result.cpd_fac:8.2f} ps "
           f"(Ratio_cpd = {result.ratio_cpd:.4f})")
     print(f"area:  {result.area_ori:8.2f}    -> {result.area_fac:8.2f} um^2 "
           f"(constraint: {result.area_ori:.2f})")
-    print(f"NMED:  {result.error:.5f} (bound {config.error_bound})")
+    print(f"NMED:  {result.error:.5f} (bound {session.config.error_bound})")
     print(f"gates: {accurate.num_gates} -> {result.circuit.num_gates} "
           f"({result.postopt.dangling_removed} dangling removed, "
           f"{result.postopt.sizing.num_moves} gates upsized)")
 
     print("\nfinal critical path:")
-    report = result.optimization.best.report
     from repro import STAEngine, default_library
     final_report = STAEngine(default_library()).analyze(result.circuit)
     print(format_path(final_report))

@@ -3,33 +3,56 @@ wolf optimizer — a full reproduction of Hu et al., DATE 2025.
 
 Public API tour:
 
+* :mod:`repro.session` — the :class:`Session` facade: run/compare
+  methods, stream per-iteration callbacks, checkpoint/resume runs,
+  batch-evaluate candidate generations.
+* :mod:`repro.registry` — the method registry; third-party optimizers
+  plug in with ``@register_method``.
 * :mod:`repro.netlist` — gate fan-in adjacency circuits, builder, Verilog I/O.
 * :mod:`repro.cells` — the synthetic 28 nm-class standard-cell library.
 * :mod:`repro.sta` — static timing analysis (PrimeTime substitute).
 * :mod:`repro.sim` — bit-parallel Monte-Carlo simulation and error metrics.
-* :mod:`repro.core` — LACs, fitness, Pareto selection, and the DCGWO.
+* :mod:`repro.core` — LACs, fitness, Pareto selection, the optimizer
+  protocol, and the DCGWO.
 * :mod:`repro.baselines` — VECBEE-SASIMI, VaACS, HEDALS, single-chase GWO.
 * :mod:`repro.postopt` — dangling-gate deletion + area-constrained resizing.
 * :mod:`repro.bench` — the Table I benchmark suite (generated equivalents).
-* :mod:`repro.flow` — the end-to-end Problem 1 pipeline and method registry.
+* :mod:`repro.flow` — compatibility shims over the session + registry.
 """
 
 from .cells import Library, default_library, make_tsmc28_like
-from .core import DCGWO, DCGWOConfig, DepthMode, EvalContext, evaluate
+from .core import (
+    DCGWO,
+    DCGWOConfig,
+    DepthMode,
+    EvalContext,
+    IterationEvent,
+    Optimizer,
+    OptimizerState,
+    RunCallback,
+    evaluate,
+    evaluate_batch,
+)
 from .flow import (
     METHOD_NAMES,
-    FlowConfig,
-    FlowResult,
     compare_methods,
     make_optimizer,
     run_flow,
 )
 from .netlist import Circuit, CircuitBuilder, parse_verilog, write_verilog
 from .postopt import post_optimize
+from .registry import (
+    CommonBudget,
+    MethodSpec,
+    get_method,
+    method_names,
+    register_method,
+)
+from .session import FlowConfig, FlowResult, Session
 from .sim import ErrorMode, random_vectors
 from .sta import STAEngine
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "Library",
@@ -39,13 +62,24 @@ __all__ = [
     "DCGWOConfig",
     "DepthMode",
     "EvalContext",
+    "IterationEvent",
+    "Optimizer",
+    "OptimizerState",
+    "RunCallback",
     "evaluate",
+    "evaluate_batch",
     "METHOD_NAMES",
     "FlowConfig",
     "FlowResult",
+    "Session",
     "compare_methods",
     "make_optimizer",
     "run_flow",
+    "CommonBudget",
+    "MethodSpec",
+    "get_method",
+    "method_names",
+    "register_method",
     "Circuit",
     "CircuitBuilder",
     "parse_verilog",

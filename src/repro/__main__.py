@@ -2,8 +2,19 @@
 
 Examples::
 
-    # approximate a structural-Verilog netlist under a 5% error rate
+    # approximate a structural-Verilog netlist under a 5% error rate,
+    # streaming per-iteration progress
     python -m repro optimize design.v --mode er --bound 0.05 -o approx.v
+
+    # pause after 10 iterations, checkpoint, resume later
+    python -m repro optimize design.v --stop-after 10 --checkpoint run.ckpt
+    python -m repro optimize --resume run.ckpt -o approx.v
+
+    # run every registered method against one shared context
+    python -m repro compare design.v --mode nmed --bound 0.0244
+
+    # list the registered optimization methods
+    python -m repro methods
 
     # generate a Table I benchmark and write its netlist
     python -m repro bench Adder16 -o adder16.v
@@ -21,10 +32,60 @@ from typing import List, Optional
 from . import __version__
 from .bench import SUITE, build_benchmark
 from .cells import default_library
-from .flow import METHOD_NAMES, FlowConfig, run_flow
+from .core.protocol import IterationEvent, RunCallback
 from .netlist import parse_verilog, write_verilog
+from .registry import available_methods, method_names
+from .session import FlowConfig, FlowResult, Session
 from .sim import ErrorMode
 from .sta import STAEngine, format_path, format_summary
+
+
+class ProgressView(RunCallback):
+    """Streams one line per optimizer iteration to a text stream.
+
+    The CLI's consumption of the protocol's callback events; any
+    embedding can substitute its own :class:`RunCallback`.
+    """
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+
+    def _emit(self, text: str) -> None:
+        print(text, file=self.stream, flush=True)
+
+    def on_run_start(self, method, total_iterations, state) -> None:
+        resumed = f", resuming at {state.iteration}" if state.iteration else ""
+        self._emit(
+            f"[{method}] run started "
+            f"({total_iterations} iterations{resumed})"
+        )
+
+    def on_iteration(self, event: IterationEvent) -> None:
+        stats = event.stats
+        best = (
+            f"best={event.best.fitness:.4f}"
+            if event.best is not None
+            else "best=--"
+        )
+        self._emit(
+            f"[{event.method}] iter {event.iteration}/"
+            f"{event.total_iterations}  fit={stats.best_fitness:.4f} "
+            f"err={stats.best_error:.5f} "
+            f"cons={stats.error_constraint:.5f} {best} "
+            f"evals={stats.evaluations} {event.elapsed_s:.1f}s"
+        )
+
+    def on_run_end(self, result) -> None:
+        status = "finished" if result.completed else "paused"
+        best = (
+            f"best fitness {result.best.fitness:.4f}"
+            if result.best is not None
+            else "no feasible circuit yet"
+        )
+        self._emit(
+            f"[{result.method}] {status}: {best}, "
+            f"{result.evaluations} evaluations, {result.runtime_s:.1f}s"
+        )
 
 
 def _read_circuit(path: str):
@@ -32,29 +93,138 @@ def _read_circuit(path: str):
         return parse_verilog(f.read())
 
 
-def _cmd_optimize(args: argparse.Namespace) -> int:
-    circuit = _read_circuit(args.netlist)
-    mode = ErrorMode.ER if args.mode == "er" else ErrorMode.NMED
-    config = FlowConfig(
+#: (flag, FlowConfig default) pairs; parser defaults are None so that
+#: explicitly-passed flags are distinguishable (``--resume`` must warn
+#: when they would be ignored in favour of the checkpoint's config).
+_FLOW_FLAG_DEFAULTS = (
+    ("mode", "er"),
+    ("bound", 0.05),
+    ("vectors", 2048),
+    ("effort", 1.0),
+    ("seed", 0),
+)
+
+
+def _flow_config(args: argparse.Namespace) -> FlowConfig:
+    values = {
+        name: getattr(args, name) if getattr(args, name) is not None
+        else default
+        for name, default in _FLOW_FLAG_DEFAULTS
+    }
+    mode = ErrorMode.ER if values["mode"] == "er" else ErrorMode.NMED
+    return FlowConfig(
         error_mode=mode,
-        error_bound=args.bound,
-        num_vectors=args.vectors,
-        effort=args.effort,
-        seed=args.seed,
-        area_con=args.area_con,
+        error_bound=values["bound"],
+        num_vectors=values["vectors"],
+        effort=values["effort"],
+        seed=values["seed"],
+        area_con=getattr(args, "area_con", None),
     )
-    result = run_flow(circuit, method=args.method, config=config)
+
+
+def _ignored_resume_flags(args: argparse.Namespace) -> List[str]:
+    """Flow flags the user passed that --resume will not honour."""
+    ignored = [
+        f"--{name}"
+        for name, _ in _FLOW_FLAG_DEFAULTS
+        if getattr(args, name) is not None
+    ]
+    if args.netlist:
+        ignored.insert(0, "the netlist argument")
+    return ignored
+
+
+def _print_flow_result(result: FlowResult, mode_label: str) -> None:
     print(
-        f"{args.method}: Ratio_cpd={result.ratio_cpd:.4f} "
+        f"{result.method}: Ratio_cpd={result.ratio_cpd:.4f} "
         f"({result.cpd_ori:.2f} -> {result.cpd_fac:.2f} ps), "
-        f"{mode.value}={result.error:.5f}, "
+        f"{mode_label}={result.error:.5f}, "
         f"area {result.area_ori:.2f} -> {result.area_fac:.2f} um2, "
         f"{result.runtime_s:.1f}s"
     )
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    callbacks = None if args.quiet else ProgressView()
+    if args.stop_after is not None and not args.checkpoint:
+        # Fail before spending iterations: a pause without a
+        # checkpoint path would throw the paused progress away.
+        print(
+            "optimize: --stop-after requires --checkpoint "
+            "(a paused run's progress would otherwise be lost)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume:
+        ignored = _ignored_resume_flags(args)
+        if ignored:
+            print(
+                "optimize: --resume takes its flow configuration from "
+                f"the checkpoint; ignoring {', '.join(ignored)}",
+                file=sys.stderr,
+            )
+        session = Session.resume(args.resume)
+        pending = session.pending_methods()
+        method = args.method or (pending[0] if pending else "Ours")
+    else:
+        if not args.netlist:
+            print(
+                "optimize: a netlist is required unless --resume is given",
+                file=sys.stderr,
+            )
+            return 2
+        session = Session(_read_circuit(args.netlist), _flow_config(args))
+        method = args.method or "Ours"
+
+    opt_result = None
+    if args.stop_after is not None:
+        partial = session.optimize(
+            method, callbacks=callbacks, stop_after=args.stop_after
+        )
+        if not partial.completed:
+            session.checkpoint(args.checkpoint)
+            done = partial.history[-1].iteration if partial.history else 0
+            print(
+                f"paused after {done} iterations; "
+                f"checkpoint written to {args.checkpoint}"
+            )
+            return 0
+        # The budget ran out before stop_after: the optimization is
+        # already complete, so hand it to run() instead of re-running.
+        opt_result = partial
+
+    result = session.run(
+        method, callbacks=callbacks, optimization=opt_result
+    )
+    mode_label = session.config.error_mode.value
+    _print_flow_result(result, mode_label)
+    if args.checkpoint:
+        session.checkpoint(args.checkpoint)
+        print(f"session checkpoint written to {args.checkpoint}")
     if args.output:
         with open(args.output, "w") as f:
             f.write(write_verilog(result.circuit))
         print(f"approximate netlist written to {args.output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    callbacks = None if args.quiet else ProgressView()
+    session = Session(_read_circuit(args.netlist), _flow_config(args))
+    methods = args.methods or list(method_names())
+    mode_label = session.config.error_mode.value
+    for method in methods:
+        result = session.run(method, callbacks=callbacks)
+        _print_flow_result(result, mode_label)
+    return 0
+
+
+def _cmd_methods(args: argparse.Namespace) -> int:
+    for spec in available_methods():
+        aliases = (
+            f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
+        )
+        print(f"{spec.name:<10} {spec.description}{aliases}")
     return 0
 
 
@@ -80,6 +250,34 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_flow_arguments(parser: argparse.ArgumentParser) -> None:
+    # Defaults stay None here (real defaults live in _FLOW_FLAG_DEFAULTS)
+    # so --resume can tell explicitly-passed flags apart and warn.
+    parser.add_argument(
+        "--mode", default=None, choices=("er", "nmed"),
+        help="error metric (default: er)",
+    )
+    parser.add_argument(
+        "--bound", type=float, default=None,
+        help="error constraint (default: 0.05)",
+    )
+    parser.add_argument(
+        "--vectors", type=int, default=None,
+        help="Monte-Carlo vectors (default: 2048)",
+    )
+    parser.add_argument(
+        "--effort", type=float, default=None,
+        help="budget multiplier (default: 1.0, the paper's setting)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="RNG seed (default: 0)"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-iteration progress stream",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -97,28 +295,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt = sub.add_parser(
         "optimize", help="run the ALS flow on a structural-Verilog netlist"
     )
-    p_opt.add_argument("netlist", help="input .v file")
     p_opt.add_argument(
-        "--method", default="Ours", choices=METHOD_NAMES,
+        "netlist", nargs="?", default=None,
+        help="input .v file (omit with --resume)",
+    )
+    p_opt.add_argument(
+        "--method", default=None, choices=method_names(),
         help="optimizer (default: Ours, the DCGWO)",
-    )
-    p_opt.add_argument(
-        "--mode", default="er", choices=("er", "nmed"),
-        help="error metric (default: er)",
-    )
-    p_opt.add_argument(
-        "--bound", type=float, default=0.05,
-        help="error constraint (default: 0.05)",
     )
     p_opt.add_argument(
         "--area-con", type=float, default=None,
         help="post-opt area constraint in um2 (default: Area_ori)",
     )
-    p_opt.add_argument("--vectors", type=int, default=2048)
-    p_opt.add_argument("--effort", type=float, default=1.0)
-    p_opt.add_argument("--seed", type=int, default=0)
+    _add_flow_arguments(p_opt)
+    p_opt.add_argument(
+        "--stop-after", type=int, default=None,
+        help="pause the optimizer after this many iterations",
+    )
+    p_opt.add_argument(
+        "--checkpoint", default=None,
+        help="write a session checkpoint to this path",
+    )
+    p_opt.add_argument(
+        "--resume", default=None,
+        help="resume from a session checkpoint instead of a netlist",
+    )
     p_opt.add_argument("-o", "--output", help="write approximate netlist")
     p_opt.set_defaults(func=_cmd_optimize)
+
+    p_cmp = sub.add_parser(
+        "compare", help="run several methods with one shared context"
+    )
+    p_cmp.add_argument("netlist", help="input .v file")
+    p_cmp.add_argument(
+        "--methods", nargs="+", default=None, metavar="METHOD",
+        help="methods to run (default: all registered)",
+    )
+    _add_flow_arguments(p_cmp)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_methods = sub.add_parser(
+        "methods", help="list registered optimization methods"
+    )
+    p_methods.set_defaults(func=_cmd_methods)
 
     p_bench = sub.add_parser(
         "bench", help="generate a Table I benchmark circuit"

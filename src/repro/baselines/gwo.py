@@ -30,6 +30,7 @@ from ..core.reproduction import (
     pick_superior_partner,
 )
 from ..core.searching import circuit_search
+from ..registry import register_method
 
 
 @dataclass
@@ -37,15 +38,22 @@ class GWOConfig(DCGWOConfig):
     """Single-chase GWO shares DCGWO's knobs (relaxation forced off)."""
 
 
+@register_method(
+    "GWO",
+    aliases=("single-chase",),
+    order=4,
+    budget_fields={"population_size": "population_size", "imax": "iterations"},
+    description="classic single-chase grey wolf optimizer baseline",
+)
 class SingleChaseGWO(DCGWO):
     """Classic GWO with alpha/beta/delta guidance over the same actions.
 
-    Implemented as a subclass of :class:`DCGWO` so evaluation, archiving
-    and history bookkeeping stay identical; only the per-iteration action
-    policy and the survivor selection differ.
+    Implemented as a subclass of :class:`DCGWO` so evaluation, state
+    handling, archiving and history bookkeeping stay identical; only the
+    per-iteration action policy and the survivor selection differ.
     """
 
-    method_name = "GWO"
+    config_cls = GWOConfig
 
     def __init__(
         self,

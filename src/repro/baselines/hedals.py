@@ -12,20 +12,15 @@ paper contrasts against.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..core.fitness import (
-    CircuitEval,
-    EvalContext,
-    ParentEvals,
-    evaluate,
-    evaluate_incremental,
-)
+from ..core.fitness import CircuitEval
 from ..core.lacs import LAC, applied_copy, is_safe
-from ..core.result import IterationStats, OptimizationResult
+from ..core.protocol import Optimizer, OptimizerState
+from ..core.result import IterationStats
 from ..netlist import is_const
+from ..registry import register_method
 from ..sim import best_switch
 from ..sta import critical_paths, path_logic_gates
 
@@ -42,27 +37,17 @@ class HedalsConfig:
     use_incremental: bool = True  # cone-limited candidate evaluation
 
 
-class HedalsLike:
+@register_method(
+    "HEDALS",
+    order=3,
+    budget_fields={"max_changes": "max_changes", "beam": "beam"},
+    description="greedy depth-driven substitution (HEDALS-style)",
+)
+class HedalsLike(Optimizer):
     """Depth-driven greedy optimizer (the paper's HEDALS column)."""
 
     method_name = "HEDALS"
-
-    def __init__(
-        self,
-        ctx: EvalContext,
-        error_bound: float,
-        config: Optional[HedalsConfig] = None,
-    ):
-        self.ctx = ctx
-        self.error_bound = error_bound
-        self.config = config or HedalsConfig()
-        self._evaluations = 0
-
-    def _evaluate(self, circuit, parents: ParentEvals = None) -> CircuitEval:
-        self._evaluations += 1
-        if self.config.use_incremental:
-            return evaluate_incremental(self.ctx, circuit, parents)
-        return evaluate(self.ctx, circuit)
+    config_cls = HedalsConfig
 
     def _critical_targets(self, ev: CircuitEval) -> List[int]:
         """Gates on near-critical paths plus their fan-ins, latest first.
@@ -93,77 +78,86 @@ class HedalsLike:
         gates.sort(key=lambda g: -ev.report.arrival[g])
         return gates
 
-    def optimize(self) -> OptimizationResult:
-        """Run the greedy depth-reduction loop."""
-        cfg = self.config
-        start = time.perf_counter()
-        self._evaluations = 0
-
+    # ------------------------------------------------------------------
+    # protocol implementation
+    # ------------------------------------------------------------------
+    def _init_state(self) -> OptimizerState:
+        # No RNG: the greedy loop is fully deterministic (similarity
+        # ranking + measured gain), so the state carries none.
+        state = OptimizerState(limit=self.config.max_changes)
         current = self._evaluate(
             self.ctx.reference.copy(), self.ctx.reference_eval()
         )
-        best = current
-        history: List[IterationStats] = []
-        for round_idx in range(1, cfg.max_changes + 1):
-            # Rank every critical-path target by the similarity of its
-            # best switch (HEDALS' critical error graph plays this role:
-            # find the depth-reducing LACs that cost the least error),
-            # then spend the full-evaluation beam on the most promising.
-            scored = []
-            for target in self._critical_targets(current):
-                found = best_switch(
-                    current.circuit,
-                    current.values,
-                    target,
-                    self.ctx.vectors.num_vectors,
-                )
-                if found is None:
-                    continue
-                lac = LAC(target=target, switch=found[0])
-                if is_safe(current.circuit, lac):
-                    scored.append((found[1], lac))
-            scored.sort(key=lambda item: (-item[0], item[1].target))
-            chosen: Optional[CircuitEval] = None
-            chosen_score = 0.0
-            feasible_seen = 0
-            for _sim, lac in scored[: cfg.max_round_evals]:
-                child_ev = self._evaluate(
-                    applied_copy(current.circuit, lac), current
-                )
-                if child_ev.error > self.error_bound:
-                    continue
-                gain = current.depth - child_ev.depth
-                if gain <= 0.0:
-                    continue
-                # Delay gain per unit of error spent (floored).
-                err_cost = max(child_ev.error - current.error, 1e-9)
-                score = gain / err_cost
-                if chosen is None or score > chosen_score:
-                    chosen, chosen_score = child_ev, score
-                feasible_seen += 1
-                if feasible_seen >= cfg.beam:
-                    break
-            if chosen is None:
-                break
-            current = chosen
-            if current.fd > best.fd:
-                best = current
-            history.append(
-                IterationStats(
-                    iteration=round_idx,
-                    best_fitness=best.fitness,
-                    best_fd=best.fd,
-                    best_fa=best.fa,
-                    best_error=best.error,
-                    error_constraint=self.error_bound,
-                    evaluations=self._evaluations,
-                )
+        state.extra["current"] = current
+        state.best = current
+        return state
+
+    def _step(self, state: OptimizerState) -> Optional[IterationStats]:
+        """One greedy round of depth reduction.
+
+        Rank every critical-path target by the similarity of its best
+        switch (HEDALS' critical error graph plays this role: find the
+        depth-reducing LACs that cost the least error), then spend the
+        full-evaluation beam on the most promising.  Evaluation stays
+        sequential: the scan stops at ``beam`` feasible candidates, a
+        data-dependent cutoff batching would overshoot.
+        """
+        cfg = self.config
+        current: CircuitEval = state.extra["current"]
+        scored = []
+        for target in self._critical_targets(current):
+            found = best_switch(
+                current.circuit,
+                current.values,
+                target,
+                self.ctx.vectors.num_vectors,
             )
-        return OptimizationResult(
-            method=self.method_name,
-            best=best,
-            population=[current],
-            history=history,
+            if found is None:
+                continue
+            lac = LAC(target=target, switch=found[0])
+            if is_safe(current.circuit, lac):
+                scored.append((found[1], lac))
+        scored.sort(key=lambda item: (-item[0], item[1].target))
+        chosen: Optional[CircuitEval] = None
+        chosen_score = 0.0
+        feasible_seen = 0
+        for _sim, lac in scored[: cfg.max_round_evals]:
+            child_ev = self._evaluate(
+                applied_copy(current.circuit, lac), current
+            )
+            if child_ev.error > self.error_bound:
+                continue
+            gain = current.depth - child_ev.depth
+            if gain <= 0.0:
+                continue
+            # Delay gain per unit of error spent (floored).
+            err_cost = max(child_ev.error - current.error, 1e-9)
+            score = gain / err_cost
+            if chosen is None or score > chosen_score:
+                chosen, chosen_score = child_ev, score
+            feasible_seen += 1
+            if feasible_seen >= cfg.beam:
+                break
+        if chosen is None:
+            state.done = True
+            return None
+        current = chosen
+        state.extra["current"] = current
+        if current.fd > state.best.fd:
+            state.best = current
+        round_idx = state.iteration + 1
+        stats = IterationStats(
+            iteration=round_idx,
+            best_fitness=state.best.fitness,
+            best_fd=state.best.fd,
+            best_fa=state.best.fa,
+            best_error=state.best.error,
+            error_constraint=self.error_bound,
             evaluations=self._evaluations,
-            runtime_s=time.perf_counter() - start,
         )
+        state.history.append(stats)
+        state.iteration = round_idx
+        return stats
+
+    def _result_population(self, state: OptimizerState):
+        return [state.extra["current"]]

@@ -14,19 +14,14 @@ table.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..core.fitness import (
-    CircuitEval,
-    EvalContext,
-    ParentEvals,
-    evaluate,
-    evaluate_incremental,
-)
+from ..core.fitness import CircuitEval
 from ..core.lacs import LAC, applied_copy, is_safe
-from ..core.result import IterationStats, OptimizationResult
+from ..core.protocol import Optimizer, OptimizerState
+from ..core.result import IterationStats
+from ..registry import register_method
 from ..sim import best_switch
 
 
@@ -41,27 +36,18 @@ class SasimiConfig:
     use_incremental: bool = True  # cone-limited candidate evaluation
 
 
-class VecbeeSasimi:
+@register_method(
+    "VECBEE-S",
+    aliases=("VECBEE", "SASIMI"),
+    order=1,
+    budget_fields={"max_changes": "max_changes", "beam": "beam"},
+    description="greedy area-driven substitution (VECBEE + SASIMI)",
+)
+class VecbeeSasimi(Optimizer):
     """Greedy area-driven optimizer (the paper's VECBEE-S column)."""
 
     method_name = "VECBEE-S"
-
-    def __init__(
-        self,
-        ctx: EvalContext,
-        error_bound: float,
-        config: Optional[SasimiConfig] = None,
-    ):
-        self.ctx = ctx
-        self.error_bound = error_bound
-        self.config = config or SasimiConfig()
-        self._evaluations = 0
-
-    def _evaluate(self, circuit, parents: ParentEvals = None) -> CircuitEval:
-        self._evaluations += 1
-        if self.config.use_incremental:
-            return evaluate_incremental(self.ctx, circuit, parents)
-        return evaluate(self.ctx, circuit)
+    config_cls = SasimiConfig
 
     def _area_saving(self, ev: CircuitEval, lac: LAC) -> float:
         """Live-area reduction the substitution would cause."""
@@ -89,54 +75,65 @@ class VecbeeSasimi:
         out.sort(key=lambda item: (-item[0], -item[1], item[2].target))
         return out
 
-    def optimize(self) -> OptimizationResult:
-        """Run the greedy loop; returns the best feasible circuit."""
-        cfg = self.config
-        rng = random.Random(cfg.seed)
-        start = time.perf_counter()
-        self._evaluations = 0
-
+    # ------------------------------------------------------------------
+    # protocol implementation
+    # ------------------------------------------------------------------
+    def _init_state(self) -> OptimizerState:
+        state = OptimizerState(
+            limit=self.config.max_changes,
+            rng=random.Random(self.config.seed),
+        )
         current = self._evaluate(
             self.ctx.reference.copy(), self.ctx.reference_eval()
         )
-        best = current
-        history: List[IterationStats] = []
-        for round_idx in range(1, cfg.max_changes + 1):
-            accepted: Optional[CircuitEval] = None
-            for saving, _sim, lac in self._candidates(current, rng)[
-                : cfg.beam
-            ]:
-                if saving <= 0.0:
-                    continue
-                child_ev = self._evaluate(
-                    applied_copy(current.circuit, lac), current
-                )
-                if child_ev.error <= self.error_bound:
-                    accepted = child_ev
-                    break
-            if accepted is None:
-                break
-            current = accepted
-            if current.fa > best.fa or (
-                current.fa == best.fa and current.fitness > best.fitness
-            ):
-                best = current
-            history.append(
-                IterationStats(
-                    iteration=round_idx,
-                    best_fitness=best.fitness,
-                    best_fd=best.fd,
-                    best_fa=best.fa,
-                    best_error=best.error,
-                    error_constraint=self.error_bound,
-                    evaluations=self._evaluations,
-                )
+        state.extra["current"] = current
+        state.best = current
+        return state
+
+    def _step(self, state: OptimizerState) -> Optional[IterationStats]:
+        """One greedy round: pick the best feasible area-saving LAC.
+
+        Candidates inside the beam are evaluated one at a time because
+        the loop accepts the *first* feasible one — batching would spend
+        evaluations the greedy policy never asks for.
+        """
+        cfg = self.config
+        current: CircuitEval = state.extra["current"]
+        accepted: Optional[CircuitEval] = None
+        for saving, _sim, lac in self._candidates(current, state.rng)[
+            : cfg.beam
+        ]:
+            if saving <= 0.0:
+                continue
+            child_ev = self._evaluate(
+                applied_copy(current.circuit, lac), current
             )
-        return OptimizationResult(
-            method=self.method_name,
-            best=best,
-            population=[current],
-            history=history,
+            if child_ev.error <= self.error_bound:
+                accepted = child_ev
+                break
+        if accepted is None:
+            state.done = True
+            return None
+        current = accepted
+        state.extra["current"] = current
+        best = state.best
+        if current.fa > best.fa or (
+            current.fa == best.fa and current.fitness > best.fitness
+        ):
+            state.best = current
+        round_idx = state.iteration + 1
+        stats = IterationStats(
+            iteration=round_idx,
+            best_fitness=state.best.fitness,
+            best_fd=state.best.fd,
+            best_fa=state.best.fa,
+            best_error=state.best.error,
+            error_constraint=self.error_bound,
             evaluations=self._evaluations,
-            runtime_s=time.perf_counter() - start,
         )
+        state.history.append(stats)
+        state.iteration = round_idx
+        return stats
+
+    def _result_population(self, state: OptimizerState):
+        return [state.extra["current"]]

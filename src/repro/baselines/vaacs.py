@@ -7,25 +7,26 @@ netlists sharing a gate ID space), and similarity-guided random-gate
 mutation, with elitism.  Unlike the paper's framework, the GA neither
 partitions its population nor balances depth against area — the fitness
 is purely depth-driven with infeasible individuals heavily penalised.
+
+Each generation's offspring are constructed first (selection and
+mutation draw only on the previous generation's evaluations) and then
+evaluated as one batch through the shared-topo-walk path, which keeps
+the seeded trajectory bit-identical to per-child evaluation.
 """
 
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Tuple
 
-from ..core.fitness import (
-    CircuitEval,
-    EvalContext,
-    ParentEvals,
-    evaluate,
-    evaluate_incremental,
-)
+from ..core.fitness import CircuitEval, ParentEvals
 from ..core.lacs import LAC, applied_copy, is_safe
+from ..core.protocol import Optimizer, OptimizerState
 from ..core.reproduction import LevelWeights, circuit_reproduce
-from ..core.result import IterationStats, OptimizationResult
+from ..core.result import IterationStats
+from ..netlist import Circuit
+from ..registry import register_method
 from ..sim import best_switch
 
 
@@ -41,31 +42,26 @@ class VaacsConfig:
     elitism: int = 2
     seed: int = 0
     use_incremental: bool = True  # cone-limited child evaluation
+    use_batch: bool = True  # shared-topo-walk generation evaluation
 
 
-class VaACS:
+@register_method(
+    "VaACS",
+    aliases=("GA",),
+    order=2,
+    budget_fields={
+        "population_size": "population_size",
+        "generations": "iterations",
+    },
+    description="depth-driven genetic algorithm (VaACS-style)",
+)
+class VaACS(Optimizer):
     """Depth-driven genetic algorithm (the paper's VaACS column)."""
 
     method_name = "VaACS"
-
-    def __init__(
-        self,
-        ctx: EvalContext,
-        error_bound: float,
-        config: Optional[VaacsConfig] = None,
-    ):
-        self.ctx = ctx
-        self.error_bound = error_bound
-        self.config = config or VaacsConfig()
-        self._evaluations = 0
+    config_cls = VaacsConfig
 
     # ------------------------------------------------------------------
-    def _evaluate(self, circuit, parents: ParentEvals = None) -> CircuitEval:
-        self._evaluations += 1
-        if self.config.use_incremental:
-            return evaluate_incremental(self.ctx, circuit, parents)
-        return evaluate(self.ctx, circuit)
-
     def _ga_fitness(self, ev: CircuitEval) -> float:
         """Depth-only fitness; infeasible individuals are crushed."""
         if ev.error > self.error_bound:
@@ -74,7 +70,7 @@ class VaACS:
 
     def _mutate(
         self, circuit, values, rng: random.Random
-    ) -> Optional[LAC]:
+    ) -> LAC | None:
         logic = circuit.logic_ids()
         if not logic:
             return None
@@ -99,93 +95,6 @@ class VaACS:
         ]
         return max(picks, key=self._ga_fitness)
 
-    # ------------------------------------------------------------------
-    def optimize(self) -> OptimizationResult:
-        """Run the GA and return the best feasible individual found."""
-        cfg = self.config
-        rng = random.Random(cfg.seed)
-        start = time.perf_counter()
-        self._evaluations = 0
-        weights = LevelWeights.paper_defaults(self.ctx)
-
-        reference = self.ctx.reference
-        population: List[CircuitEval] = []
-        for _ in range(cfg.population_size):
-            lac = self._mutate(reference, self.ctx.reference_values, rng)
-            child = (
-                applied_copy(reference, lac)
-                if lac is not None
-                else reference.copy()
-            )
-            population.append(
-                self._evaluate(child, self.ctx.reference_eval())
-            )
-
-        best: Optional[CircuitEval] = None
-
-        def consider(ev: CircuitEval) -> None:
-            nonlocal best
-            if ev.error > self.error_bound:
-                return
-            if best is None or ev.fd > best.fd:
-                best = ev
-
-        for ev in population:
-            consider(ev)
-
-        history: List[IterationStats] = []
-        for gen in range(1, cfg.generations + 1):
-            ranked = sorted(population, key=self._ga_fitness, reverse=True)
-            next_pop: List[CircuitEval] = ranked[: cfg.elitism]
-            while len(next_pop) < cfg.population_size:
-                parent_a = self._tournament(population, rng)
-                parents = (parent_a,)
-                if rng.random() < cfg.crossover_rate:
-                    parent_b = self._tournament(population, rng)
-                    child = circuit_reproduce(
-                        parent_a, parent_b, self.ctx, weights
-                    )
-                    parents = (parent_a, parent_b)
-                else:
-                    child = parent_a.circuit.copy()
-                if rng.random() < cfg.mutation_rate:
-                    values = self._evaluate_values_cache(child, parent_a)
-                    lac = self._mutate(child, values, rng)
-                    if lac is not None:
-                        child = applied_copy(child, lac)
-                # Crossover stamps provenance against the fitter parent
-                # and a follow-up mutation folds into the same record, so
-                # offering both parents always covers the match.
-                ev = self._evaluate(child, parents)
-                consider(ev)
-                next_pop.append(ev)
-            population = next_pop
-            top = max(population, key=self._ga_fitness)
-            history.append(
-                IterationStats(
-                    iteration=gen,
-                    best_fitness=top.fitness,
-                    best_fd=top.fd,
-                    best_fa=top.fa,
-                    best_error=top.error,
-                    error_constraint=self.error_bound,
-                    evaluations=self._evaluations,
-                )
-            )
-
-        if best is None:
-            best = self._evaluate(
-                reference.copy(), self.ctx.reference_eval()
-            )
-        return OptimizationResult(
-            method=self.method_name,
-            best=best,
-            population=population,
-            history=history,
-            evaluations=self._evaluations,
-            runtime_s=time.perf_counter() - start,
-        )
-
     def _evaluate_values_cache(self, child, parent_ev: CircuitEval):
         """Similarity queries for mutation reuse the parent's values.
 
@@ -194,3 +103,80 @@ class VaACS:
         the parent's signal statistics are a close proxy.
         """
         return parent_ev.values
+
+    # ------------------------------------------------------------------
+    # protocol implementation
+    # ------------------------------------------------------------------
+    def _consider(self, state: OptimizerState, ev: CircuitEval) -> None:
+        if ev.error > self.error_bound:
+            return
+        if state.best is None or ev.fd > state.best.fd:
+            state.best = ev
+
+    def _init_state(self) -> OptimizerState:
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        state = OptimizerState(limit=cfg.generations, rng=rng)
+        state.extra["weights"] = LevelWeights.paper_defaults(self.ctx)
+        reference = self.ctx.reference
+        items: List[Tuple[Circuit, ParentEvals]] = []
+        for _ in range(cfg.population_size):
+            lac = self._mutate(reference, self.ctx.reference_values, rng)
+            child = (
+                applied_copy(reference, lac)
+                if lac is not None
+                else reference.copy()
+            )
+            items.append((child, (self.ctx.reference_eval(),)))
+        state.population = self._evaluate_generation(items)
+        for ev in state.population:
+            self._consider(state, ev)
+        return state
+
+    def _step(self, state: OptimizerState) -> IterationStats:
+        """One GA generation: elitism + offspring batch."""
+        cfg = self.config
+        rng = state.rng
+        weights = state.extra["weights"]
+        population = state.population
+        ranked = sorted(population, key=self._ga_fitness, reverse=True)
+        next_pop: List[CircuitEval] = ranked[: cfg.elitism]
+        pending: List[Tuple[Circuit, ParentEvals]] = []
+        while len(next_pop) + len(pending) < cfg.population_size:
+            parent_a = self._tournament(population, rng)
+            parents: Tuple[CircuitEval, ...] = (parent_a,)
+            if rng.random() < cfg.crossover_rate:
+                parent_b = self._tournament(population, rng)
+                child = circuit_reproduce(
+                    parent_a, parent_b, self.ctx, weights
+                )
+                parents = (parent_a, parent_b)
+            else:
+                child = parent_a.circuit.copy()
+            if rng.random() < cfg.mutation_rate:
+                values = self._evaluate_values_cache(child, parent_a)
+                lac = self._mutate(child, values, rng)
+                if lac is not None:
+                    child = applied_copy(child, lac)
+            # Crossover stamps provenance against the fitter parent
+            # and a follow-up mutation folds into the same record, so
+            # offering both parents always covers the match.
+            pending.append((child, parents))
+        for ev in self._evaluate_generation(pending):
+            self._consider(state, ev)
+            next_pop.append(ev)
+        state.population = next_pop
+        gen = state.iteration + 1
+        top = max(next_pop, key=self._ga_fitness)
+        stats = IterationStats(
+            iteration=gen,
+            best_fitness=top.fitness,
+            best_fd=top.fd,
+            best_fa=top.fa,
+            best_error=top.error,
+            error_constraint=self.error_bound,
+            evaluations=self._evaluations,
+        )
+        state.history.append(stats)
+        state.iteration = gen
+        return stats

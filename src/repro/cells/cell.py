@@ -52,6 +52,12 @@ class CellFunction:
             )
         return self.word_eval(inputs)
 
+    def __reduce__(self):
+        # The evaluators are lambdas (unpicklable); the registered name
+        # identifies the behaviour, so serialization (session
+        # checkpoints carry the library) round-trips through FUNCTIONS.
+        return (_function_by_name, (self.name,))
+
 
 def _fn(
     name: str,
@@ -65,6 +71,14 @@ def _fn(
 
 #: Registry of every combinational function in the synthetic library.
 FUNCTIONS: Dict[str, CellFunction] = {}
+
+
+def _function_by_name(name: str) -> CellFunction:
+    """Unpickling hook: resolve a function through the registry."""
+    try:
+        return FUNCTIONS[name]
+    except KeyError:
+        raise ValueError(f"unknown cell function {name!r}") from None
 
 
 def _register(fn: CellFunction) -> CellFunction:

@@ -9,6 +9,7 @@ from .analysis import (
     format_pareto_front,
     pareto_front,
 )
+from .batch import evaluate_batch
 from .dcgwo import DCGWO, DCGWOConfig
 from .fitness import (
     CircuitEval,
@@ -16,6 +17,13 @@ from .fitness import (
     EvalContext,
     evaluate,
     evaluate_incremental,
+)
+from .protocol import (
+    CallbackList,
+    IterationEvent,
+    Optimizer,
+    OptimizerState,
+    RunCallback,
 )
 from .lacs import LAC, applied_copy, apply_lac, is_safe
 from .pareto import (
@@ -69,6 +77,12 @@ __all__ = [
     "EvalContext",
     "evaluate",
     "evaluate_incremental",
+    "evaluate_batch",
+    "CallbackList",
+    "IterationEvent",
+    "Optimizer",
+    "OptimizerState",
+    "RunCallback",
     "LAC",
     "applied_copy",
     "apply_lac",

@@ -1,0 +1,204 @@
+"""Generation-batched candidate evaluation (shared parent topo walk).
+
+Evaluating a whole candidate generation one circuit at a time repeats
+the same structural work per child: the topological order, the fan-out
+map, and the transitive-fan-out cone walks are all recomputed on every
+candidate even though most of each child is identical to a shared
+parent.  :func:`evaluate_batch` amortises that across the generation:
+
+* children are grouped by the parent evaluation their provenance record
+  points at (the error/timing *values* still come from each child's own
+  changed cone, so grouping loses nothing);
+* each group reuses the **parent's** cached topological order, fan-out
+  map and TFO cones — the child never builds its own O(V+E) structures;
+* one walk over the parent's topological order visits every child's
+  dirty gates in a single pass (the ROADMAP's "shared topo walk,
+  stacked value matrices" item).
+
+Correctness rests on two facts, both checked per child with cheap O(cone)
+guards that fall back to :func:`~repro.core.fitness.evaluate_incremental`
+when violated:
+
+1. A child's dirty set (TFO of its changed gates) computed on the parent
+   graph equals the one computed on the child graph: edges into an
+   unchanged gate are identical in both, and changed gates are seeds.
+2. The parent's topological order remains a valid evaluation order for
+   the child's dirty cone as long as every *changed* gate's fan-ins sit
+   earlier in that order (unchanged gates inherit validity from the
+   parent).  LACs always satisfy this (switches come from the TFI), and
+   reproduction children of a common ancestor's ID space almost always
+   do.
+
+Results are **bit-identical** to the sequential incremental path (and
+therefore to the full path): each gate's value depends only on its
+fan-in rows, which the validity guard orders correctly, and the metric
+tail runs through the same :func:`~repro.core.fitness._finish_eval`.
+Pinned by ``tests/test_session_api.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..netlist import Circuit
+from ..sim.bitsim import ValueMap, _const_rows
+from ..cells import FUNCTIONS, split_cell_name
+from ..netlist import PI_CELL, PO_CELL
+from .fitness import (
+    CircuitEval,
+    EvalContext,
+    ParentEvals,
+    _finish_eval,
+    _match_parent,
+    evaluate,
+    evaluate_incremental,
+)
+
+#: One batch entry: the candidate circuit plus the parent eval(s) its
+#: provenance record may point at (same contract as the incremental path).
+BatchItem = Tuple[Circuit, ParentEvals]
+
+
+def _normalize_parents(parents: ParentEvals) -> Sequence[CircuitEval]:
+    if parents is None:
+        return ()
+    if isinstance(parents, CircuitEval):
+        return (parents,)
+    return tuple(parents)
+
+
+def _shared_order_valid(
+    pos: Dict[int, int], circuit: Circuit, changed: FrozenSet[int]
+) -> bool:
+    """Can the parent's topo order drive this child's dirty cone?
+
+    Only the *changed* gates can have rewired fan-ins; every one of them
+    (and each of its fan-ins) must exist in the parent order with the
+    fan-in strictly earlier.  Unchanged gates carry the parent's edges
+    and are valid by construction.
+    """
+    fanins = circuit.fanins
+    for gid in changed:
+        if gid < 0:
+            continue
+        pg = pos.get(gid)
+        fis = fanins.get(gid)
+        if pg is None or fis is None:
+            return False
+        for fi in fis:
+            if fi < 0:
+                continue
+            pf = pos.get(fi)
+            if pf is None or pf >= pg:
+                return False
+    return True
+
+
+def _batch_against_parent(
+    ctx: EvalContext,
+    parent: CircuitEval,
+    group: List[Tuple[int, Circuit, FrozenSet[int]]],
+    out: List[Optional[CircuitEval]],
+) -> None:
+    """Evaluate one parent's children with a single shared topo walk."""
+    pc = parent.circuit
+    order = pc.topological_order()
+    pos = {gid: i for i, gid in enumerate(order)}
+    parent_keys = pc.fanins.keys()
+
+    ready: List[Tuple[int, Circuit, Set[int], FrozenSet[int]]] = []
+    for index, circuit, changed in group:
+        if (
+            circuit.fanins.keys() != parent_keys
+            or not _shared_order_valid(pos, circuit, changed)
+        ):
+            # Structure diverged beyond what the shared walk covers
+            # (gates added/removed, or a rewrite against parent order):
+            # this child takes the sequential path, same results.
+            out[index] = evaluate_incremental(ctx, circuit, parent)
+            continue
+        dirty: Set[int] = set()
+        for gid in changed:
+            if gid >= 0:
+                # The parent's memoized TFO equals the child's here (see
+                # module docstring), so cone walks are shared too.
+                dirty |= pc.transitive_fanout(gid, include_self=True)
+        ready.append((index, circuit, dirty, changed))
+    if not ready:
+        return
+
+    num_words = ctx.vectors.num_words
+    const_rows = _const_rows(num_words)
+    pi_rows = {
+        pi: ctx.vectors.words[row] for row, pi in enumerate(pc.pi_ids)
+    }
+    values_list: List[ValueMap] = []
+    for _, circuit, _, _ in ready:
+        values: ValueMap = dict(parent.values)
+        values.update(const_rows)
+        values.update(pi_rows)
+        values_list.append(values)
+
+    # The shared walk: visit each gate of the parent order once and
+    # evaluate it for exactly the children whose cones it dirties.
+    touch: Dict[int, List[int]] = {}
+    for k, (_, _, dirty, _) in enumerate(ready):
+        for gid in dirty:
+            touch.setdefault(gid, []).append(k)
+    for gid in order:
+        ks = touch.get(gid)
+        if not ks:
+            continue
+        for k in ks:
+            circuit = ready[k][1]
+            cell = circuit.cells[gid]
+            if cell == PI_CELL:
+                continue
+            values = values_list[k]
+            fis = circuit.fanins[gid]
+            if cell == PO_CELL:
+                values[gid] = values[fis[0]]
+                continue
+            function, _ = split_cell_name(cell)
+            values[gid] = FUNCTIONS[function].word_eval(
+                [values[fi] for fi in fis]
+            )
+
+    # Timing + metric tail per child (identical calls to the sequential
+    # path; update_timing rederives loads only around the changed gates).
+    from ..sta import update_timing
+
+    for k, (index, circuit, _, changed) in enumerate(ready):
+        report = update_timing(ctx.sta, circuit, parent.report, changed)
+        out[index] = _finish_eval(ctx, circuit, report, values_list[k])
+
+
+def evaluate_batch(
+    ctx: EvalContext, items: Sequence[BatchItem]
+) -> List[CircuitEval]:
+    """Evaluate a generation of candidates with shared structural work.
+
+    ``items`` pairs each candidate circuit with the parent eval(s) its
+    provenance may match (exactly what the sequential loop would pass to
+    :func:`~repro.core.fitness.evaluate_incremental`).  Children sharing
+    a matched parent are evaluated in one shared topo walk; unmatched or
+    structurally-diverged children fall back to the sequential path.
+
+    Returns one :class:`CircuitEval` per item, in order — bit-identical
+    to evaluating each item with ``evaluate_incremental``.
+    """
+    out: List[Optional[CircuitEval]] = [None] * len(items)
+    groups: Dict[int, Tuple[CircuitEval, List]] = {}
+    for i, (circuit, parents) in enumerate(items):
+        match = _match_parent(circuit, _normalize_parents(parents))
+        if match is None:
+            out[i] = evaluate(ctx, circuit)
+            continue
+        parent, changed = match
+        key = id(parent)
+        if key not in groups:
+            groups[key] = (parent, [])
+        groups[key][1].append((i, circuit, changed))
+    for parent, group in groups.values():
+        _batch_against_parent(ctx, parent, group, out)
+    return out  # type: ignore[return-value]

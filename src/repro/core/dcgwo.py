@@ -14,25 +14,27 @@ Per iteration:
 
 The best error-feasible circuit seen anywhere in the run is archived and
 returned.
+
+Structurally the class is an :class:`~repro.core.protocol.Optimizer`:
+the loop state (population, archive, RNG, history) lives in a
+serializable :class:`~repro.core.protocol.OptimizerState`, one iteration
+is :meth:`DCGWO._step`, and the shared protocol driver provides
+streaming callbacks, pause (``stop_after``) and bit-identical resume.
+Each iteration's children are evaluated as one generation through the
+shared-topo-walk batch path (``use_batch``), falling back to
+per-candidate incremental evaluation.
 """
 
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 from ..netlist import Circuit
+from ..registry import register_method
 from ..sim import best_switch
-from .fitness import (
-    CircuitEval,
-    DepthMode,
-    EvalContext,
-    ParentEvals,
-    evaluate,
-    evaluate_incremental,
-)
+from .fitness import CircuitEval, DepthMode, EvalContext
 from .lacs import LAC, applied_copy, is_safe
 from .pareto import nsga2_select
 from .population import (
@@ -40,13 +42,14 @@ from .population import (
     divide_population,
     scaling_factor,
 )
+from .protocol import Optimizer, OptimizerState
 from .relaxation import ErrorRelaxation
 from .reproduction import (
     LevelWeights,
     circuit_reproduce,
     pick_superior_partner,
 )
-from .result import IterationStats, OptimizationResult
+from .result import IterationStats
 from .searching import circuit_search, circuit_simplify
 
 
@@ -68,11 +71,19 @@ class DCGWOConfig:
     use_crowding: bool = True  # ablation hook: False = plain fitness sort
     use_reproduction: bool = True  # ablation hook: False = searching only
     use_incremental: bool = True  # cone-limited child evaluation
+    use_batch: bool = True  # shared-topo-walk generation evaluation
     enable_simplification: bool = False  # extension: in-place gate rewrites
     simplification_rate: float = 0.3  # P(simplify) per search action
 
 
-class DCGWO:
+@register_method(
+    "Ours",
+    aliases=("DCGWO",),
+    order=5,
+    budget_fields={"population_size": "population_size", "imax": "iterations"},
+    description="double-chase grey wolf optimizer (the paper's method)",
+)
+class DCGWO(Optimizer):
     """Double-chase grey wolf optimizer over approximate circuits.
 
     Args:
@@ -83,6 +94,7 @@ class DCGWO:
     """
 
     method_name = "DCGWO"
+    config_cls = DCGWOConfig
 
     def __init__(
         self,
@@ -90,26 +102,17 @@ class DCGWO:
         error_bound: float,
         config: Optional[DCGWOConfig] = None,
     ):
-        self.ctx = ctx
-        self.error_bound = error_bound
-        self.config = config or DCGWOConfig()
-        self._evaluations = 0
+        super().__init__(ctx, error_bound, config)
+        cfg = self.config
+        self._relaxation = ErrorRelaxation(
+            final=error_bound,
+            imax=cfg.imax,
+            start_fraction=(
+                cfg.relax_start_fraction if cfg.use_relaxation else 1.0
+            ),
+        )
 
     # ------------------------------------------------------------------
-    def _evaluate(
-        self, circuit: Circuit, parents: ParentEvals = None
-    ) -> CircuitEval:
-        """Evaluate one candidate, cone-limited when a parent is known.
-
-        With ``use_incremental`` (the default) and a valid provenance
-        record, only the changed gates' fan-out cones are resimulated
-        and retimed; results are bit-identical to the full path.
-        """
-        self._evaluations += 1
-        if self.config.use_incremental:
-            return evaluate_incremental(self.ctx, circuit, parents)
-        return evaluate(self.ctx, circuit)
-
     def _random_lac(
         self, circuit: Circuit, rng: random.Random, values
     ) -> Optional[LAC]:
@@ -130,15 +133,21 @@ class DCGWO:
         return None
 
     def _initial_population(self, rng: random.Random) -> List[CircuitEval]:
-        """P0: accurate circuit forked with one random LAC per member."""
-        population: List[CircuitEval] = []
-        seen: Set[int] = set()
+        """P0: accurate circuit forked with one random LAC per member.
+
+        The forked circuits are collected first and evaluated as one
+        generation (none of the RNG draws depend on evaluation results,
+        so batching preserves the exact seeded trajectory).
+        """
+        cfg = self.config
         reference = self.ctx.reference
         values = self.ctx.reference_values
+        circuits: List[Circuit] = []
+        seen: Set[int] = set()
         attempts = 0
         while (
-            len(population) < self.config.population_size
-            and attempts < 20 * self.config.population_size
+            len(circuits) < cfg.population_size
+            and attempts < 20 * cfg.population_size
         ):
             attempts += 1
             lac = self._random_lac(reference, rng, values)
@@ -149,16 +158,15 @@ class DCGWO:
             if key in seen:
                 continue
             seen.add(key)
-            population.append(
-                self._evaluate(child, self.ctx.reference_eval())
-            )
-        if not population:
+            circuits.append(child)
+        if not circuits:
             # Degenerate circuit with no admissible LAC: seed with the
             # accurate circuit itself so the optimizer still terminates.
-            population.append(
+            return [
                 self._evaluate(reference.copy(), self.ctx.reference_eval())
-            )
-        return population
+            ]
+        parents = (self.ctx.reference_eval(),)
+        return self._evaluate_generation([(c, parents) for c in circuits])
 
     # ------------------------------------------------------------------
     def _chase_children(
@@ -271,77 +279,59 @@ class DCGWO:
         return [feasible[i] for i in chosen]
 
     # ------------------------------------------------------------------
-    def optimize(self) -> OptimizationResult:
-        """Run the full DCGWO loop and return the archived best."""
+    # protocol implementation
+    # ------------------------------------------------------------------
+    def _consider(self, state: OptimizerState, ev: CircuitEval) -> None:
+        """Archive ``ev`` if it is feasible and the fittest seen."""
+        if ev.error > self.error_bound:
+            return
+        if state.best is None or ev.fitness > state.best.fitness:
+            state.best = ev
+
+    def _init_state(self) -> OptimizerState:
         cfg = self.config
         rng = random.Random(cfg.seed)
-        start = time.perf_counter()
-        self._evaluations = 0
-        weights = LevelWeights.paper_defaults(self.ctx)
-        relax = ErrorRelaxation(
-            final=self.error_bound,
-            imax=cfg.imax,
-            start_fraction=(
-                cfg.relax_start_fraction if cfg.use_relaxation else 1.0
-            ),
+        state = OptimizerState(limit=cfg.imax, rng=rng)
+        state.extra["weights"] = LevelWeights.paper_defaults(self.ctx)
+        state.population = self._initial_population(rng)
+        for ev in state.population:
+            self._consider(state, ev)
+        return state
+
+    def _step(self, state: OptimizerState) -> IterationStats:
+        """One DCGWO iteration: chases, generation eval, NSGA-II select."""
+        cfg = self.config
+        iteration = state.iteration + 1
+        constraint = self._relaxation.at(iteration)
+        population = state.population
+        seen = {ev.circuit.structure_key() for ev in population}
+        children = self._chase_children(
+            population, iteration, state.rng, state.extra["weights"], seen
         )
-
-        population = self._initial_population(rng)
-        best: Optional[CircuitEval] = None
-
-        def consider(ev: CircuitEval) -> None:
-            nonlocal best
-            if ev.error > self.error_bound:
-                return
-            if best is None or ev.fitness > best.fitness:
-                best = ev
-
-        for ev in population:
-            consider(ev)
-
-        history: List[IterationStats] = []
-        for iteration in range(1, cfg.imax + 1):
-            constraint = relax.at(iteration)
-            seen = {ev.circuit.structure_key() for ev in population}
-            children = self._chase_children(
-                population, iteration, rng, weights, seen
-            )
-            child_evals: List[CircuitEval] = []
-            evaluated: Set[int] = set()
-            for child, parents in children:
-                key = child.structure_key()
-                if key in evaluated:
-                    continue
-                evaluated.add(key)
-                child_evals.append(self._evaluate(child, parents))
-            for ev in child_evals:
-                consider(ev)
-            candidates = population + child_evals
-            population = self._select(candidates, constraint)
-            top = max(population, key=lambda ev: ev.fitness)
-            history.append(
-                IterationStats(
-                    iteration=iteration,
-                    best_fitness=top.fitness,
-                    best_fd=top.fd,
-                    best_fa=top.fa,
-                    best_error=top.error,
-                    error_constraint=constraint,
-                    evaluations=self._evaluations,
-                )
-            )
-
-        if best is None:
-            # No feasible approximation found: fall back to the accurate
-            # circuit (zero error, ratio 1.0) so downstream stages work.
-            best = self._evaluate(
-                self.ctx.reference.copy(), self.ctx.reference_eval()
-            )
-        return OptimizationResult(
-            method=self.method_name,
-            best=best,
-            population=population,
-            history=history,
+        items: List[Tuple[Circuit, Tuple[CircuitEval, ...]]] = []
+        evaluated: Set[int] = set()
+        for child, parents in children:
+            key = child.structure_key()
+            if key in evaluated:
+                continue
+            evaluated.add(key)
+            items.append((child, parents))
+        child_evals = self._evaluate_generation(items)
+        for ev in child_evals:
+            self._consider(state, ev)
+        state.population = self._select(
+            population + child_evals, constraint
+        )
+        top = max(state.population, key=lambda ev: ev.fitness)
+        stats = IterationStats(
+            iteration=iteration,
+            best_fitness=top.fitness,
+            best_fd=top.fd,
+            best_fa=top.fa,
+            best_error=top.error,
+            error_constraint=constraint,
             evaluations=self._evaluations,
-            runtime_s=time.perf_counter() - start,
         )
+        state.history.append(stats)
+        state.iteration = iteration
+        return stats

@@ -41,6 +41,7 @@ from ..sim import (
     resimulate_cone,
     simulate,
 )
+from ..sim.error import make_unpack_cache
 from ..sim.bitsim import ValueMap
 from ..sta import STAEngine, TimingReport, update_timing
 
@@ -74,6 +75,12 @@ class EvalContext:
     depth_mode: DepthMode = DepthMode.DELAY
     _reference_eval: Optional["CircuitEval"] = field(
         default=None, repr=False, compare=False
+    )
+    #: Per-context memo of the unpacked reference-PO matrix (NMED path).
+    #: Owned here — not module-global — so interleaved sessions never
+    #: thrash each other's cache.
+    _ref_unpack_cache: List[object] = field(
+        default_factory=make_unpack_cache, repr=False, compare=False
     )
 
     @property
@@ -192,7 +199,13 @@ def _finish_eval(
     """
     app_po = po_words(circuit, values)
     nv = ctx.vectors.num_vectors
-    error = measure_error(ctx.error_mode, ctx.reference_po, app_po, nv)
+    error = measure_error(
+        ctx.error_mode,
+        ctx.reference_po,
+        app_po,
+        nv,
+        ref_cache=ctx._ref_unpack_cache,
+    )
     po_errors = per_po_error(ctx.error_mode, ctx.reference_po, app_po, nv)
     depth = (
         report.cpd

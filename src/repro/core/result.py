@@ -26,7 +26,9 @@ class OptimizationResult:
     """Outcome of one optimization run.
 
     ``best`` is the best error-feasible evaluated circuit found anywhere
-    during the run (not merely in the final population).
+    during the run (not merely in the final population).  A paused run
+    (``Optimizer.optimize(stop_after=...)``) returns a partial result
+    with ``completed=False``; ``best`` may then still be ``None``.
     """
 
     method: str
@@ -35,6 +37,7 @@ class OptimizationResult:
     history: List[IterationStats] = field(default_factory=list)
     evaluations: int = 0
     runtime_s: float = 0.0
+    completed: bool = True
 
     @property
     def best_circuit(self):

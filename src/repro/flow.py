@@ -11,144 +11,59 @@ method flows through the same evaluation context and the same
 post-optimization, exactly as the paper's experimental setup prescribes
 ("all final generated circuits experience post-optimization under
 Area_con").
+
+This module is now a thin compatibility layer over the two pieces that
+replaced it:
+
+* the **method registry** (:mod:`repro.registry`) — ``make_optimizer``
+  is a pure registry lookup, with no per-method branching; new methods
+  plug in by decorating their class with ``@register_method`` and never
+  touch this file;
+* the **session facade** (:mod:`repro.session`) — ``run_flow`` and
+  ``compare_methods`` construct a one-shot :class:`~repro.session
+  .Session` and delegate.
+
+New code should use :class:`repro.session.Session` directly (it adds
+streaming callbacks, pause/checkpoint/resume, and batched generation
+evaluation); these shims are kept so existing callers and notebooks
+keep working unchanged.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
-from .baselines import (
-    GWOConfig,
-    HedalsConfig,
-    HedalsLike,
-    SasimiConfig,
-    SingleChaseGWO,
-    VaACS,
-    VaacsConfig,
-    VecbeeSasimi,
-)
-from .cells import Library, default_library
-from .core import DCGWO, DCGWOConfig, DepthMode, EvalContext
-from .core.result import OptimizationResult
+from .cells import Library
+from .core import EvalContext
 from .netlist import Circuit
-from .postopt import PostOptResult, post_optimize
-from .sim import ErrorMode
+from .registry import get_method, method_names
+from .session import FlowConfig, FlowResult, Session
 
-#: Paper column names for every implemented method.
-METHOD_NAMES = ("VECBEE-S", "VaACS", "HEDALS", "GWO", "Ours")
+__all__ = [
+    "METHOD_NAMES",
+    "FlowConfig",
+    "FlowResult",
+    "make_optimizer",
+    "run_flow",
+    "compare_methods",
+]
 
 
-@dataclass
-class FlowConfig:
-    """Knobs of one flow run.
+def _method_names_tuple() -> tuple:
+    return method_names()
 
-    ``effort`` scales every optimizer's budget uniformly: 1.0 is the
-    paper's setting (N=30, Imax=20 class); smaller values shrink the
-    population/iteration/greedy-round budgets proportionally so sweeps
-    finish in CI time while preserving relative method behaviour.
+
+#: Paper column names for every registered method (registry-backed).
+METHOD_NAMES = _method_names_tuple()
+
+
+def make_optimizer(method: str, ctx: EvalContext, cfg: FlowConfig) -> Any:
+    """Instantiate a paper method by column name (registry lookup).
+
+    Deprecated shim: prefer ``Session.optimizer(method)`` or
+    :func:`repro.registry.get_method`.
     """
-
-    error_mode: ErrorMode = ErrorMode.ER
-    error_bound: float = 0.05
-    area_con: Optional[float] = None  # default: Area_ori (paper setup)
-    num_vectors: int = 2048
-    seed: int = 0
-    wd: float = 0.8
-    depth_mode: DepthMode = DepthMode.DELAY
-    effort: float = 1.0
-    max_sizing_moves: int = 120
-    pre_synth: bool = False  # run cleanup passes on the input netlist
-
-
-def _scaled(value: int, effort: float, minimum: int) -> int:
-    return max(int(round(value * effort)), minimum)
-
-
-def make_optimizer(
-    method: str, ctx: EvalContext, cfg: FlowConfig
-):
-    """Instantiate a paper method by column name."""
-    e = cfg.effort
-    if method == "Ours":
-        return DCGWO(
-            ctx,
-            cfg.error_bound,
-            DCGWOConfig(
-                population_size=_scaled(30, e, 6),
-                imax=_scaled(20, e, 4),
-                wd=cfg.wd,
-                seed=cfg.seed,
-                depth_mode=cfg.depth_mode,
-            ),
-        )
-    if method == "GWO":
-        return SingleChaseGWO(
-            ctx,
-            cfg.error_bound,
-            GWOConfig(
-                population_size=_scaled(30, e, 6),
-                imax=_scaled(20, e, 4),
-                wd=cfg.wd,
-                seed=cfg.seed,
-                depth_mode=cfg.depth_mode,
-            ),
-        )
-    if method == "VECBEE-S":
-        return VecbeeSasimi(
-            ctx,
-            cfg.error_bound,
-            SasimiConfig(
-                max_changes=_scaled(60, e, 10),
-                beam=_scaled(8, e, 8),
-                seed=cfg.seed,
-            ),
-        )
-    if method == "VaACS":
-        return VaACS(
-            ctx,
-            cfg.error_bound,
-            VaacsConfig(
-                population_size=_scaled(30, e, 6),
-                generations=_scaled(20, e, 4),
-                seed=cfg.seed,
-            ),
-        )
-    if method == "HEDALS":
-        return HedalsLike(
-            ctx,
-            cfg.error_bound,
-            HedalsConfig(
-                max_changes=_scaled(60, e, 10),
-                beam=_scaled(8, e, 8),
-                seed=cfg.seed,
-            ),
-        )
-    raise ValueError(
-        f"unknown method {method!r}; choose from {METHOD_NAMES}"
-    )
-
-
-@dataclass
-class FlowResult:
-    """Everything Tables II/III report for one (circuit, method) cell."""
-
-    method: str
-    circuit: Circuit  # the final approximate netlist, post-optimized
-    cpd_ori: float
-    cpd_fac: float
-    area_ori: float
-    area_fac: float
-    error: float
-    runtime_s: float
-    optimization: OptimizationResult
-    postopt: PostOptResult
-
-    @property
-    def ratio_cpd(self) -> float:
-        """The paper's ``Ratio_cpd = CPD_fac / CPD_ori``."""
-        return self.cpd_fac / self.cpd_ori
+    return get_method(method).build(ctx, cfg)
 
 
 def run_flow(
@@ -160,70 +75,23 @@ def run_flow(
 ) -> FlowResult:
     """Run optimizer + post-optimization on one accurate circuit.
 
-    Pass a pre-built ``ctx`` to share the (expensive) reference
-    simulation across methods in a comparison sweep.
+    Deprecated shim over :meth:`repro.session.Session.run`.  Pass a
+    pre-built ``ctx`` to share the (expensive) reference simulation
+    across methods in a comparison sweep.
     """
-    cfg = config or FlowConfig()
-    lib = library or default_library()
-    start = time.perf_counter()
-    if ctx is None:
-        if cfg.pre_synth:
-            from .synth import optimize_netlist
-
-            accurate = accurate.copy()
-            optimize_netlist(accurate)
-        ctx = EvalContext.build(
-            accurate,
-            lib,
-            cfg.error_mode,
-            num_vectors=cfg.num_vectors,
-            seed=cfg.seed,
-            wd=cfg.wd,
-            depth_mode=cfg.depth_mode,
-        )
-    optimizer = make_optimizer(method, ctx, cfg)
-    opt_result = optimizer.optimize()
-    area_con = cfg.area_con if cfg.area_con is not None else ctx.area_ori
-    post = post_optimize(
-        opt_result.best.circuit,
-        lib,
-        area_con,
-        sta=ctx.sta,
-        max_moves=cfg.max_sizing_moves,
-    )
-    return FlowResult(
-        method=method,
-        circuit=post.circuit,
-        cpd_ori=ctx.cpd_ori,
-        cpd_fac=post.cpd_after,
-        area_ori=ctx.area_ori,
-        area_fac=post.circuit.area(lib),
-        error=opt_result.best.error,
-        runtime_s=time.perf_counter() - start,
-        optimization=opt_result,
-        postopt=post,
-    )
+    session = Session(accurate, config=config, library=library, ctx=ctx)
+    return session.run(method)
 
 
 def compare_methods(
     accurate: Circuit,
-    methods=METHOD_NAMES,
+    methods: Sequence[str] = METHOD_NAMES,
     config: Optional[FlowConfig] = None,
     library: Optional[Library] = None,
 ) -> Dict[str, FlowResult]:
-    """Run several methods against one circuit with a shared context."""
-    cfg = config or FlowConfig()
-    lib = library or default_library()
-    ctx = EvalContext.build(
-        accurate,
-        lib,
-        cfg.error_mode,
-        num_vectors=cfg.num_vectors,
-        seed=cfg.seed,
-        wd=cfg.wd,
-        depth_mode=cfg.depth_mode,
-    )
-    return {
-        method: run_flow(accurate, method, cfg, lib, ctx=ctx)
-        for method in methods
-    }
+    """Run several methods against one circuit with a shared context.
+
+    Deprecated shim over :meth:`repro.session.Session.compare`.
+    """
+    session = Session(accurate, config=config, library=library)
+    return session.compare(methods)

@@ -1,0 +1,346 @@
+"""The :class:`Session` facade: one evaluation context, many runs.
+
+A session owns everything one benchmark circuit needs — the cell
+library, the :class:`~repro.core.fitness.EvalContext` (reference
+simulation, STA baseline, Monte-Carlo vectors) — and exposes the whole
+experimental surface of the paper behind a handful of methods:
+
+* :meth:`Session.run` — optimizer + post-optimization, one method, the
+  paper's Problem 1 flow (what ``run_flow`` used to be);
+* :meth:`Session.compare` — every registered method against the shared
+  context (Tables II/III cells);
+* :meth:`Session.optimize` — the optimization stage alone, pausable
+  (``stop_after``) and resumable, streaming :class:`RunCallback`
+  events per iteration;
+* :meth:`Session.checkpoint` / :meth:`Session.resume` — persist a
+  session (including any paused run's population, archive and RNG
+  state) and continue it later **bit-identically**: the evaluation
+  context is rebuilt from the same seed, so a run checkpointed at
+  iteration *k* finishes with exactly the result of the uninterrupted
+  run (pinned by ``tests/test_session_api.py``);
+* :meth:`Session.evaluate` / :meth:`Session.evaluate_batch` — the
+  protocol's evaluation entry points for embedding services that bring
+  their own candidates.
+
+Methods are referenced by registry name ("Ours", "HEDALS", ... —
+case-insensitive, aliases allowed), so third-party optimizers that
+register themselves are first-class citizens of every session API.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .cells import Library, default_library
+from .core.batch import BatchItem, evaluate_batch
+from .core.fitness import (
+    CircuitEval,
+    DepthMode,
+    EvalContext,
+    ParentEvals,
+    evaluate_incremental,
+)
+from .core.protocol import Callbacks, Optimizer, OptimizerState
+from .core.result import OptimizationResult
+from .netlist import Circuit
+from .postopt import PostOptResult, post_optimize
+from .registry import get_method, method_names
+from .sim import ErrorMode
+
+#: On-disk checkpoint format version (bump on layout changes).
+CHECKPOINT_FORMAT = 1
+
+
+@dataclass
+class FlowConfig:
+    """Knobs of one flow run.
+
+    ``effort`` scales every optimizer's budget uniformly: 1.0 is the
+    paper's setting (N=30, Imax=20 class); smaller values shrink the
+    population/iteration/greedy-round budgets proportionally so sweeps
+    finish in CI time while preserving relative method behaviour.
+    """
+
+    error_mode: ErrorMode = ErrorMode.ER
+    error_bound: float = 0.05
+    area_con: Optional[float] = None  # default: Area_ori (paper setup)
+    num_vectors: int = 2048
+    seed: int = 0
+    wd: float = 0.8
+    depth_mode: DepthMode = DepthMode.DELAY
+    effort: float = 1.0
+    max_sizing_moves: int = 120
+    pre_synth: bool = False  # run cleanup passes on the input netlist
+
+
+@dataclass
+class FlowResult:
+    """Everything Tables II/III report for one (circuit, method) cell."""
+
+    method: str
+    circuit: Circuit  # the final approximate netlist, post-optimized
+    cpd_ori: float
+    cpd_fac: float
+    area_ori: float
+    area_fac: float
+    error: float
+    runtime_s: float
+    optimization: OptimizationResult
+    postopt: PostOptResult
+
+    @property
+    def ratio_cpd(self) -> float:
+        """The paper's ``Ratio_cpd = CPD_fac / CPD_ori``."""
+        return self.cpd_fac / self.cpd_ori
+
+
+class Session:
+    """Shared evaluation context + run orchestration for one circuit.
+
+    Args:
+        circuit: the accurate (post-synthesis) netlist to approximate.
+        config: flow-level knobs; defaults to :class:`FlowConfig`.
+        library: cell library; defaults to the bundled 28nm-class one.
+        ctx: pass a pre-built context to reuse reference simulation
+            across sessions (skips ``pre_synth`` handling).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        config: Optional[FlowConfig] = None,
+        library: Optional[Library] = None,
+        ctx: Optional[EvalContext] = None,
+    ):
+        self.config = config or FlowConfig()
+        self.library = library or default_library()
+        if ctx is None:
+            if self.config.pre_synth:
+                from .synth import optimize_netlist
+
+                circuit = circuit.copy()
+                optimize_netlist(circuit)
+            ctx = EvalContext.build(
+                circuit,
+                self.library,
+                self.config.error_mode,
+                num_vectors=self.config.num_vectors,
+                seed=self.config.seed,
+                wd=self.config.wd,
+                depth_mode=self.config.depth_mode,
+            )
+        self.ctx = ctx
+        #: Paused optimizer runs by canonical method name.
+        self._pending: Dict[str, Tuple[Optimizer, OptimizerState]] = {}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def circuit(self) -> Circuit:
+        """The accurate reference circuit the context was built on."""
+        return self.ctx.reference
+
+    @staticmethod
+    def methods() -> Tuple[str, ...]:
+        """Registered method names in paper column order."""
+        return method_names()
+
+    def pending_methods(self) -> Tuple[str, ...]:
+        """Methods with a paused (checkpointable) run on this session."""
+        return tuple(sorted(self._pending))
+
+    # ------------------------------------------------------------------
+    # evaluation entry points
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, circuit: Circuit, parents: ParentEvals = None
+    ) -> CircuitEval:
+        """Evaluate one candidate (cone-limited when provenance allows)."""
+        return evaluate_incremental(self.ctx, circuit, parents)
+
+    def evaluate_batch(
+        self,
+        circuits: Sequence[Union[Circuit, BatchItem]],
+        parents: ParentEvals = None,
+    ) -> List[CircuitEval]:
+        """Evaluate a whole candidate generation with shared work.
+
+        ``circuits`` may be bare :class:`Circuit` objects (``parents``
+        then applies to all of them) or ``(circuit, parents)`` pairs.
+        Results are bit-identical to sequential incremental evaluation.
+        """
+        items: List[BatchItem] = []
+        for entry in circuits:
+            if isinstance(entry, Circuit):
+                items.append((entry, parents))
+            else:
+                items.append(entry)
+        return evaluate_batch(self.ctx, items)
+
+    # ------------------------------------------------------------------
+    # running methods
+    # ------------------------------------------------------------------
+    def optimizer(
+        self, method: str, config: Optional[Any] = None
+    ) -> Optimizer:
+        """Instantiate a registered method against this session."""
+        return get_method(method).build(self.ctx, self.config, config)
+
+    def optimize(
+        self,
+        method: str = "Ours",
+        callbacks: Callbacks = None,
+        stop_after: Optional[int] = None,
+        config: Optional[Any] = None,
+    ) -> OptimizationResult:
+        """Run (or continue) one method's optimization stage.
+
+        With ``stop_after=k`` the run pauses once iteration *k*
+        completes and returns a partial result (``completed=False``);
+        the paused state stays on the session, so a later call —
+        possibly after :meth:`checkpoint` / :meth:`resume` — continues
+        it bit-identically.
+        """
+        key = get_method(method).name
+        pending = self._pending.pop(key, None)
+        if pending is not None:
+            optimizer, state = pending
+        else:
+            optimizer = self.optimizer(method, config)
+            state = None
+        result = optimizer.optimize(
+            callbacks=callbacks, state=state, stop_after=stop_after
+        )
+        if not result.completed and optimizer.last_state is not None:
+            self._pending[key] = (optimizer, optimizer.last_state)
+        return result
+
+    def run(
+        self,
+        method: str = "Ours",
+        callbacks: Callbacks = None,
+        config: Optional[Any] = None,
+        optimization: Optional[OptimizationResult] = None,
+    ) -> FlowResult:
+        """Optimizer + post-optimization: one Problem 1 flow run.
+
+        Continues a paused run of ``method`` when one exists.  Pass a
+        completed ``optimization`` result (e.g. from an earlier
+        :meth:`optimize` call) to post-optimize it without re-running
+        the optimizer.  The final circuit is post-optimized under the
+        area constraint exactly as the paper prescribes ("all final
+        generated circuits experience post-optimization under
+        ``Area_con``").
+        """
+        cfg = self.config
+        start = time.perf_counter()
+        if optimization is not None:
+            if not optimization.completed:
+                raise ValueError(
+                    "cannot post-optimize a paused optimization result; "
+                    "finish it with optimize() first"
+                )
+            opt_result = optimization
+        else:
+            opt_result = self.optimize(
+                method, callbacks=callbacks, config=config
+            )
+        area_con = (
+            cfg.area_con if cfg.area_con is not None else self.ctx.area_ori
+        )
+        post = post_optimize(
+            opt_result.best.circuit,
+            self.library,
+            area_con,
+            sta=self.ctx.sta,
+            max_moves=cfg.max_sizing_moves,
+        )
+        return FlowResult(
+            method=get_method(method).name,
+            circuit=post.circuit,
+            cpd_ori=self.ctx.cpd_ori,
+            cpd_fac=post.cpd_after,
+            area_ori=self.ctx.area_ori,
+            area_fac=post.circuit.area(self.library),
+            error=opt_result.best.error,
+            runtime_s=time.perf_counter() - start,
+            optimization=opt_result,
+            postopt=post,
+        )
+
+    def compare(
+        self,
+        methods: Optional[Sequence[str]] = None,
+        callbacks: Callbacks = None,
+    ) -> Dict[str, FlowResult]:
+        """Run several methods against the one shared context."""
+        chosen = tuple(methods) if methods is not None else self.methods()
+        return {
+            method: self.run(method, callbacks=callbacks)
+            for method in chosen
+        }
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: str) -> None:
+        """Persist this session (and any paused runs) to ``path``.
+
+        The evaluation context itself is *not* serialized: it is fully
+        determined by (circuit, library, config seed/vectors/mode) and
+        is rebuilt bit-identically on :meth:`resume`.  What is stored:
+        the reference circuit, the flow config, the library, and per
+        paused run its method config plus the whole
+        :class:`OptimizerState` — population, archive, history and the
+        exact RNG state.
+        """
+        pending = {
+            key: (optimizer.config, state)
+            for key, (optimizer, state) in self._pending.items()
+        }
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "circuit": self.ctx.reference,
+            "config": self.config,
+            "library": self.library,
+            "pending": pending,
+        }
+        with open(path, "wb") as f:
+            pickle.dump(payload, f)
+
+    @classmethod
+    def resume(cls, path: str) -> "Session":
+        """Rebuild a session (and its paused runs) from a checkpoint."""
+        with open(path, "rb") as f:
+            payload = pickle.load(f)
+        fmt = payload.get("format")
+        if fmt != CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"unsupported checkpoint format {fmt!r} "
+                f"(expected {CHECKPOINT_FORMAT})"
+            )
+        config: FlowConfig = payload["config"]
+        circuit: Circuit = payload["circuit"]
+        library: Library = payload["library"]
+        # The stored circuit already went through pre_synth (when
+        # enabled), so the context is rebuilt directly from it.
+        ctx = EvalContext.build(
+            circuit,
+            library,
+            config.error_mode,
+            num_vectors=config.num_vectors,
+            seed=config.seed,
+            wd=config.wd,
+            depth_mode=config.depth_mode,
+        )
+        session = cls(circuit, config=config, library=library, ctx=ctx)
+        for key, (method_config, state) in payload["pending"].items():
+            optimizer = get_method(key).build(
+                ctx, config, config=method_config
+            )
+            session._pending[key] = (optimizer, state)
+        return session

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -45,21 +45,40 @@ def _unpack_matrix(mat: np.ndarray, num_vectors: int) -> np.ndarray:
     return bits[:, :num_vectors]
 
 
-#: Size-1 unpack cache for the *reference* PO matrix: every candidate
-#: evaluation of one benchmark passes the same long-lived ``ref`` array
-#: (``EvalContext.reference_po``), so its unpack is paid once.  Keyed by
+#: What a reference-PO unpack cache looks like: ``[matrix, nv, bits]``.
+#: Owned by each :class:`~repro.core.fitness.EvalContext` (one cache per
+#: evaluation context) rather than module-global state, so two sessions
+#: interleaving evaluations never thrash each other's cache.  Keyed by
 #: object identity — callers must not mutate a matrix in place.
-_REF_UNPACK_CACHE: List[object] = [None, 0, None]
+UnpackCache = List[object]
 
 
-def _unpack_ref(mat: np.ndarray, num_vectors: int) -> np.ndarray:
-    cached_mat, cached_nv, cached_bits = _REF_UNPACK_CACHE
+def make_unpack_cache() -> UnpackCache:
+    """A fresh (empty) reference-PO unpack cache."""
+    return [None, 0, None]
+
+
+def _unpack_ref(
+    mat: np.ndarray,
+    num_vectors: int,
+    cache: Optional[UnpackCache] = None,
+) -> np.ndarray:
+    """Unpack the reference PO matrix, memoized in the caller's cache.
+
+    Every candidate evaluation of one benchmark passes the same
+    long-lived ``ref`` array (``EvalContext.reference_po``), so with a
+    cache the unpack is paid once per context.  Without one (ad-hoc
+    metric calls) it simply unpacks.
+    """
+    if cache is None:
+        return _unpack_matrix(mat, num_vectors)
+    cached_mat, cached_nv, cached_bits = cache
     if cached_mat is mat and cached_nv == num_vectors:
         return cached_bits
     bits = _unpack_matrix(mat, num_vectors)
-    _REF_UNPACK_CACHE[0] = mat
-    _REF_UNPACK_CACHE[1] = num_vectors
-    _REF_UNPACK_CACHE[2] = bits
+    cache[0] = mat
+    cache[1] = num_vectors
+    cache[2] = bits
     return bits
 
 
@@ -86,11 +105,14 @@ def per_po_error_rate(
 
 
 def mean_error_distance(
-    ref: np.ndarray, app: np.ndarray, num_vectors: int
+    ref: np.ndarray,
+    app: np.ndarray,
+    num_vectors: int,
+    ref_cache: Optional[UnpackCache] = None,
 ) -> float:
     """Unnormalized mean |V_ori - V_app| with LSB-first PO weighting."""
     num_pos = ref.shape[0]
-    rbits_all = _unpack_ref(ref, num_vectors)
+    rbits_all = _unpack_ref(ref, num_vectors, ref_cache)
     abits_all = _unpack_matrix(app, num_vectors)
     acc = np.zeros(num_vectors, dtype=np.float64)
     # Accumulate PO by PO (not one matmul) so the float summation order —
@@ -102,7 +124,12 @@ def mean_error_distance(
     return float(np.abs(acc).mean())
 
 
-def nmed(ref: np.ndarray, app: np.ndarray, num_vectors: int) -> float:
+def nmed(
+    ref: np.ndarray,
+    app: np.ndarray,
+    num_vectors: int,
+    ref_cache: Optional[UnpackCache] = None,
+) -> float:
     """Eq. (2): mean error distance normalized by the max output value.
 
     Accumulated in the normalized domain so 128-bit outputs stay within
@@ -111,7 +138,7 @@ def nmed(ref: np.ndarray, app: np.ndarray, num_vectors: int) -> float:
     """
     num_pos = ref.shape[0]
     denom = float(2**num_pos - 1)
-    rbits_all = _unpack_ref(ref, num_vectors)
+    rbits_all = _unpack_ref(ref, num_vectors, ref_cache)
     abits_all = _unpack_matrix(app, num_vectors)
     acc = np.zeros(num_vectors, dtype=np.float64)
     # Accumulate PO by PO (not one matmul) so the float summation order —
@@ -124,12 +151,20 @@ def nmed(ref: np.ndarray, app: np.ndarray, num_vectors: int) -> float:
 
 
 def measure_error(
-    mode: ErrorMode, ref: np.ndarray, app: np.ndarray, num_vectors: int
+    mode: ErrorMode,
+    ref: np.ndarray,
+    app: np.ndarray,
+    num_vectors: int,
+    ref_cache: Optional[UnpackCache] = None,
 ) -> float:
-    """Dispatch to ER or NMED according to ``mode``."""
+    """Dispatch to ER or NMED according to ``mode``.
+
+    ``ref_cache`` (one per evaluation context) memoizes the reference
+    matrix unpack NMED needs; ER ignores it.
+    """
     if mode is ErrorMode.ER:
         return error_rate(ref, app, num_vectors)
-    return nmed(ref, app, num_vectors)
+    return nmed(ref, app, num_vectors, ref_cache)
 
 
 def per_po_error(

@@ -109,11 +109,12 @@ def exhaustive_vectors(num_inputs: int) -> VectorSet:
 
 
 def count_ones(row: np.ndarray, num_vectors: int) -> int:
-    """Population count of a packed row, ignoring tail bits."""
-    rem = num_vectors % 64
-    if rem:
-        row = row.copy()
-        row[-1] &= np.uint64((1 << rem) - 1)
+    """Population count of a packed row, ignoring tail bits.
+
+    Routed through :func:`tail_masked` so the packing convention (which
+    bits of the final word are real) lives in exactly one place.
+    """
+    row = tail_masked(row, num_vectors)
     if hasattr(np, "bitwise_count"):
         return int(np.bitwise_count(row).sum())
     return int(np.unpackbits(row.view(np.uint8)).sum())

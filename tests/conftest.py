@@ -1,11 +1,19 @@
-"""Shared fixtures: the synthetic library and small reference circuits."""
+"""Shared fixtures: the synthetic library and small reference circuits.
+
+The circuit builders themselves live in :mod:`reference_circuits` so
+tests can import them by module name without colliding with the
+benchmark suite's ``conftest`` when both directories are collected.
+"""
 
 from __future__ import annotations
 
 import pytest
 
+from reference_circuits import build_adder, build_fig3_circuit
+
 from repro.cells import default_library
-from repro.netlist import Circuit, CircuitBuilder
+
+__all__ = ["build_adder", "build_fig3_circuit"]
 
 
 @pytest.fixture(scope="session")
@@ -13,42 +21,9 @@ def library():
     return default_library()
 
 
-def build_fig3_circuit() -> Circuit:
-    """The example circuit of the paper's Fig. 3.
-
-    PIs 1-4; gates 5..12 with the exact fan-in adjacency printed in the
-    figure; POs 13 <- 11, 14 <- 9, 15 <- 12.
-    """
-    c = Circuit("fig3")
-    for i in range(4):
-        c.add_pi(f"i{i + 1}")  # ids 1..4
-    c.add_gate("AND2D1", (1, 2))  # 5
-    c.add_gate("OR2D1", (2, 3))  # 6
-    c.add_gate("NAND2D1", (3, 4))  # 7
-    c.add_gate("NOR2D1", (5, 6))  # 8
-    c.add_gate("XOR2D1", (6, 7))  # 9
-    c.add_gate("AND2D1", (4, 7))  # 10
-    c.add_gate("OR2D1", (5, 8))  # 11
-    c.add_gate("AND2D1", (9, 10))  # 12
-    c.add_po(11, "o1")  # 13
-    c.add_po(9, "o2")  # 14
-    c.add_po(12, "o3")  # 15
-    return c
-
-
 @pytest.fixture
 def fig3():
     return build_fig3_circuit()
-
-
-def build_adder(width: int, name: str = "adder") -> Circuit:
-    """Ripple-carry adder with a carry-out PO, LSB-first."""
-    b = CircuitBuilder(f"{name}{width}")
-    a = b.pis(width, "a")
-    bb = b.pis(width, "b")
-    sums, cout = b.ripple_adder(a, bb)
-    b.pos(sums + [cout], "s")
-    return b.done()
 
 
 @pytest.fixture

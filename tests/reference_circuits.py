@@ -1,0 +1,43 @@
+"""Reference circuits shared by fixtures and importing tests.
+
+Lives in its own (uniquely named) module rather than ``conftest.py`` so
+tests can import the builders directly without colliding with the
+benchmark suite's ``conftest`` when both directories are collected.
+"""
+
+from __future__ import annotations
+
+from repro.netlist import Circuit, CircuitBuilder
+
+
+def build_fig3_circuit() -> Circuit:
+    """The example circuit of the paper's Fig. 3.
+
+    PIs 1-4; gates 5..12 with the exact fan-in adjacency printed in the
+    figure; POs 13 <- 11, 14 <- 9, 15 <- 12.
+    """
+    c = Circuit("fig3")
+    for i in range(4):
+        c.add_pi(f"i{i + 1}")  # ids 1..4
+    c.add_gate("AND2D1", (1, 2))  # 5
+    c.add_gate("OR2D1", (2, 3))  # 6
+    c.add_gate("NAND2D1", (3, 4))  # 7
+    c.add_gate("NOR2D1", (5, 6))  # 8
+    c.add_gate("XOR2D1", (6, 7))  # 9
+    c.add_gate("AND2D1", (4, 7))  # 10
+    c.add_gate("OR2D1", (5, 8))  # 11
+    c.add_gate("AND2D1", (9, 10))  # 12
+    c.add_po(11, "o1")  # 13
+    c.add_po(9, "o2")  # 14
+    c.add_po(12, "o3")  # 15
+    return c
+
+
+def build_adder(width: int, name: str = "adder") -> Circuit:
+    """Ripple-carry adder with a carry-out PO, LSB-first."""
+    b = CircuitBuilder(f"{name}{width}")
+    a = b.pis(width, "a")
+    bb = b.pis(width, "b")
+    sums, cout = b.ripple_adder(a, bb)
+    b.pos(sums + [cout], "s")
+    return b.done()

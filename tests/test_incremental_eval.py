@@ -17,7 +17,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from conftest import build_adder, build_fig3_circuit
+from reference_circuits import build_adder, build_fig3_circuit
 
 from repro.cells import default_library
 from repro.core import (
@@ -331,7 +331,7 @@ class TestStructureKey:
         script = (
             "import sys; sys.path.insert(0, sys.argv[1]); "
             "sys.path.insert(0, sys.argv[2]); "
-            "from conftest import build_fig3_circuit; "
+            "from reference_circuits import build_fig3_circuit; "
             "print(build_fig3_circuit().structure_key())"
         )
         src = str(Path(__file__).resolve().parents[1] / "src")
