@@ -1,31 +1,85 @@
-"""Runtime scaling of the DCGWO flow with circuit size.
+"""Runtime scaling of the DCGWO flow with circuit size and worker count.
 
 The paper's §IV summary claims the framework "maintains low time
 consumption" thanks to the fast LAC implementation on adjacency lists
-and the parallelism-friendly GWO structure.  This bench measures the
-wall-clock of one full DCGWO run (fixed small budget) across circuits of
-increasing gate count and reports seconds, seconds-per-gate, and
-candidate evaluations per second (the metric the incremental evaluation
-engine directly improves), so regressions in the evaluation hot path
-show up as super-linear growth or an evals/s collapse.
+and the parallelism-friendly GWO structure.  This bench measures two
+things:
+
+* **size scaling** — wall-clock of one full DCGWO run (fixed small
+  budget) across circuits of increasing gate count: seconds,
+  seconds-per-gate, and candidate evaluations per second (the metric
+  the incremental evaluation engine directly improves), so regressions
+  in the evaluation hot path show up as super-linear growth or an
+  evals/s collapse;
+* **shard scaling** — the same run on the two largest circuits with the
+  multi-process shard dispatcher at ``jobs`` = 2 and 4 versus serial.
+  Worker pools are created and warmed *outside* the timed region (the
+  dispatcher is a persistent pool; steady-state throughput is what a
+  long optimization sees), and every parallel run is asserted
+  bit-identical to the serial one before its throughput is reported.
+  Speedups are meaningful only when the host grants the process that
+  many cores — the available core count is printed alongside.
 """
 
+import os
 import time
 
 from _common import num_vectors, publish, seed
 
 from repro.bench import ripple_adder_circuit
 from repro.cells import default_library
-from repro.core import DCGWO, DCGWOConfig, EvalContext
+from repro.core import (
+    DCGWO,
+    DCGWOConfig,
+    EvalContext,
+    close_dispatcher,
+    get_dispatcher,
+)
 from repro.reporting import format_series
 from repro.sim import ErrorMode
 
 WIDTHS = (8, 16, 32, 64, 128)
+PARALLEL_WIDTHS = (64, 128)
+PARALLEL_JOBS = (2, 4)
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _build_ctx(width, library):
+    circuit = ripple_adder_circuit(width)
+    return circuit, EvalContext.build(
+        circuit, library, ErrorMode.NMED,
+        num_vectors=num_vectors(), seed=seed(),
+    )
+
+
+def _timed_run(ctx, jobs):
+    cfg = DCGWOConfig(
+        population_size=8, imax=4, seed=seed(), jobs=jobs
+    )
+    start = time.perf_counter()
+    result = DCGWO(ctx, 0.0244, cfg).optimize()
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def _signature(result):
+    return (
+        result.best.fitness,
+        result.best.error,
+        result.best.circuit.structure_key(),
+        result.evaluations,
+        tuple(result.history),
+    )
 
 
 def run_scaling():
     library = default_library()
-    cfg_template = dict(population_size=8, imax=4, seed=seed())
     rows = {
         "gates": [],
         "seconds": [],
@@ -33,14 +87,9 @@ def run_scaling():
         "evals_per_s": [],
     }
     for width in WIDTHS:
-        circuit = ripple_adder_circuit(width)
-        ctx = EvalContext.build(
-            circuit, library, ErrorMode.NMED,
-            num_vectors=num_vectors(), seed=seed(),
-        )
-        start = time.perf_counter()
-        result = DCGWO(ctx, 0.0244, DCGWOConfig(**cfg_template)).optimize()
-        elapsed = time.perf_counter() - start
+        circuit, ctx = _build_ctx(width, library)
+        # jobs=1 pins the baseline serial even if REPRO_JOBS is set.
+        result, elapsed = _timed_run(ctx, jobs=1)
         rows["gates"].append(float(circuit.num_gates))
         rows["seconds"].append(elapsed)
         rows["ms_per_gate"].append(1000.0 * elapsed / circuit.num_gates)
@@ -48,15 +97,53 @@ def run_scaling():
     return rows
 
 
+def run_parallel_scaling():
+    """Serial vs sharded evals/s on the two largest sweep circuits."""
+    library = default_library()
+    rows = {"serial_evals_per_s": []}
+    for jobs in PARALLEL_JOBS:
+        rows[f"jobs{jobs}_evals_per_s"] = []
+        rows[f"jobs{jobs}_speedup"] = []
+    for width in PARALLEL_WIDTHS:
+        _, ctx = _build_ctx(width, library)
+        serial_result, serial_s = _timed_run(ctx, jobs=1)
+        serial_rate = serial_result.evaluations / serial_s
+        rows["serial_evals_per_s"].append(serial_rate)
+        for jobs in PARALLEL_JOBS:
+            _, ctx = _build_ctx(width, library)
+            get_dispatcher(ctx, jobs).warmup()  # outside the timed region
+            result, elapsed = _timed_run(ctx, jobs=jobs)
+            close_dispatcher(ctx)
+            # The determinism contract is part of the bench: a speedup
+            # that changed a single bit would be a bug, not a feature.
+            assert _signature(result) == _signature(serial_result)
+            rate = result.evaluations / elapsed
+            rows[f"jobs{jobs}_evals_per_s"].append(rate)
+            rows[f"jobs{jobs}_speedup"].append(rate / serial_rate)
+    return rows
+
+
 def test_runtime_scaling(benchmark):
     rows = benchmark.pedantic(
         run_scaling, rounds=1, iterations=1, warmup_rounds=0
     )
+    parallel_rows = run_parallel_scaling()
     text = format_series(
         "DCGWO runtime scaling on ripple adders (fixed N=8, Imax=4)",
         "width",
         list(WIDTHS),
         rows,
+    )
+    text += "\n\n" + format_series(
+        "Sharded evaluation throughput, serial vs jobs=2/4 "
+        f"(warm pools; {_available_cores()} core(s) available)",
+        "width",
+        list(PARALLEL_WIDTHS),
+        parallel_rows,
+    )
+    text += (
+        "\nparallel runs asserted bit-identical to serial before "
+        "throughput is reported"
     )
     publish("runtime_scaling", text)
     # Soft check: per-gate cost must stay within an order of magnitude

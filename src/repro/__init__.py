@@ -30,8 +30,10 @@ from .core import (
     Optimizer,
     OptimizerState,
     RunCallback,
+    ShardDispatcher,
     evaluate,
     evaluate_batch,
+    resolve_jobs,
 )
 from .flow import (
     METHOD_NAMES,
@@ -68,6 +70,8 @@ __all__ = [
     "RunCallback",
     "evaluate",
     "evaluate_batch",
+    "ShardDispatcher",
+    "resolve_jobs",
     "METHOD_NAMES",
     "FlowConfig",
     "FlowResult",

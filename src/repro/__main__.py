@@ -179,10 +179,14 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     opt_result = None
     if args.stop_after is not None:
         partial = session.optimize(
-            method, callbacks=callbacks, stop_after=args.stop_after
+            method,
+            callbacks=callbacks,
+            stop_after=args.stop_after,
+            jobs=args.jobs,
         )
         if not partial.completed:
             session.checkpoint(args.checkpoint)
+            session.close()
             done = partial.history[-1].iteration if partial.history else 0
             print(
                 f"paused after {done} iterations; "
@@ -194,8 +198,10 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         opt_result = partial
 
     result = session.run(
-        method, callbacks=callbacks, optimization=opt_result
+        method, callbacks=callbacks, optimization=opt_result,
+        jobs=args.jobs,
     )
+    session.close()
     mode_label = session.config.error_mode.value
     _print_flow_result(result, mode_label)
     if args.checkpoint:
@@ -209,13 +215,30 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    callbacks = None if args.quiet else ProgressView()
+    from .core.parallel import resolve_jobs
+
     session = Session(_read_circuit(args.netlist), _flow_config(args))
     methods = args.methods or list(method_names())
     mode_label = session.config.error_mode.value
+    if resolve_jobs(args.jobs) > 1 and len(methods) > 1:
+        # Whole methods run concurrently; per-iteration streaming
+        # cannot cross process boundaries, so results print at the end.
+        print(
+            f"running {len(methods)} methods across worker processes",
+            file=sys.stderr,
+        )
+        results = session.compare(methods, jobs=args.jobs)
+        for method in methods:
+            _print_flow_result(results[method], mode_label)
+        session.close()
+        return 0
+    callbacks = None if args.quiet else ProgressView()
     for method in methods:
-        result = session.run(method, callbacks=callbacks)
+        result = session.run(
+            method, callbacks=callbacks, jobs=args.jobs
+        )
         _print_flow_result(result, mode_label)
+    session.close()
     return 0
 
 
@@ -271,6 +294,13 @@ def _add_flow_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="RNG seed (default: 0)"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help=(
+            "worker processes for evaluation (default: REPRO_JOBS or "
+            "serial); results are bit-identical to serial"
+        ),
     )
     parser.add_argument(
         "--quiet", action="store_true",

@@ -35,6 +35,8 @@ class HedalsConfig:
     slack_fraction: float = 0.05  # paths within 5% of CPD are critical
     seed: int = 0
     use_incremental: bool = True  # cone-limited candidate evaluation
+    use_parallel: bool = True  # reserved: greedy rounds evaluate serially
+    jobs: int = 0  # parallelized at Session.compare level, not per-round
 
 
 @register_method(

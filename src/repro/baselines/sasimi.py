@@ -34,6 +34,8 @@ class SasimiConfig:
     beam: int = 8  # candidates error-checked per round
     seed: int = 0
     use_incremental: bool = True  # cone-limited candidate evaluation
+    use_parallel: bool = True  # reserved: greedy rounds evaluate serially
+    jobs: int = 0  # parallelized at Session.compare level, not per-round
 
 
 @register_method(

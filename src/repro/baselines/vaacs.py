@@ -43,6 +43,8 @@ class VaacsConfig:
     seed: int = 0
     use_incremental: bool = True  # cone-limited child evaluation
     use_batch: bool = True  # shared-topo-walk generation evaluation
+    use_parallel: bool = True  # allow multi-process generation sharding
+    jobs: int = 0  # worker processes (0: serial unless REPRO_JOBS is set)
 
 
 @register_method(

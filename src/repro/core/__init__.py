@@ -9,8 +9,14 @@ from .analysis import (
     format_pareto_front,
     pareto_front,
 )
-from .batch import evaluate_batch
+from .batch import evaluate_batch, group_by_parent
 from .dcgwo import DCGWO, DCGWOConfig
+from .parallel import (
+    ShardDispatcher,
+    close_dispatcher,
+    get_dispatcher,
+    resolve_jobs,
+)
 from .fitness import (
     CircuitEval,
     DepthMode,
@@ -78,6 +84,11 @@ __all__ = [
     "evaluate",
     "evaluate_incremental",
     "evaluate_batch",
+    "group_by_parent",
+    "ShardDispatcher",
+    "close_dispatcher",
+    "get_dispatcher",
+    "resolve_jobs",
     "CallbackList",
     "IterationEvent",
     "Optimizer",

@@ -67,6 +67,44 @@ def _normalize_parents(parents: ParentEvals) -> Sequence[CircuitEval]:
     return tuple(parents)
 
 
+#: One provenance group: the matched parent eval plus its children as
+#: ``(item_index, circuit, changed_gate_ids)`` triples.
+ParentGroup = Tuple[CircuitEval, List[Tuple[int, Circuit, FrozenSet[int]]]]
+
+
+def group_by_parent(
+    items: Sequence[BatchItem],
+) -> Tuple[List[ParentGroup], List[Tuple[int, Circuit]]]:
+    """Partition a generation into provenance groups.
+
+    Children whose provenance record matches one of their offered parent
+    evals are grouped under that parent (groups appear in first-seen
+    parent order, children in item order); everything else — missing,
+    stale, or unmatched provenance — lands in ``singles`` and must be
+    fully evaluated.  This is the partition both the in-process batch
+    walk below and the multi-process shard dispatcher
+    (:mod:`repro.core.parallel`) schedule from, so the two backends
+    agree on which child takes which evaluation path.
+    """
+    groups: List[ParentGroup] = []
+    index_of: Dict[int, int] = {}
+    singles: List[Tuple[int, Circuit]] = []
+    for i, (circuit, parents) in enumerate(items):
+        match = _match_parent(circuit, _normalize_parents(parents))
+        if match is None:
+            singles.append((i, circuit))
+            continue
+        parent, changed = match
+        key = id(parent)
+        slot = index_of.get(key)
+        if slot is None:
+            slot = len(groups)
+            index_of[key] = slot
+            groups.append((parent, []))
+        groups[slot][1].append((i, circuit, changed))
+    return groups, singles
+
+
 def _shared_order_valid(
     pos: Dict[int, int], circuit: Circuit, changed: FrozenSet[int]
 ) -> bool:
@@ -188,17 +226,9 @@ def evaluate_batch(
     to evaluating each item with ``evaluate_incremental``.
     """
     out: List[Optional[CircuitEval]] = [None] * len(items)
-    groups: Dict[int, Tuple[CircuitEval, List]] = {}
-    for i, (circuit, parents) in enumerate(items):
-        match = _match_parent(circuit, _normalize_parents(parents))
-        if match is None:
-            out[i] = evaluate(ctx, circuit)
-            continue
-        parent, changed = match
-        key = id(parent)
-        if key not in groups:
-            groups[key] = (parent, [])
-        groups[key][1].append((i, circuit, changed))
-    for parent, group in groups.values():
+    groups, singles = group_by_parent(items)
+    for i, circuit in singles:
+        out[i] = evaluate(ctx, circuit)
+    for parent, group in groups:
         _batch_against_parent(ctx, parent, group, out)
     return out  # type: ignore[return-value]

@@ -72,6 +72,8 @@ class DCGWOConfig:
     use_reproduction: bool = True  # ablation hook: False = searching only
     use_incremental: bool = True  # cone-limited child evaluation
     use_batch: bool = True  # shared-topo-walk generation evaluation
+    use_parallel: bool = True  # allow multi-process generation sharding
+    jobs: int = 0  # worker processes (0: serial unless REPRO_JOBS is set)
     enable_simplification: bool = False  # extension: in-place gate rewrites
     simplification_rate: float = 0.3  # P(simplify) per search action
 

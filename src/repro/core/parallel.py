@@ -1,0 +1,804 @@
+"""Multi-process sharded generation evaluation (the ShardDispatcher).
+
+The ROADMAP's first scaling step: ``Session.compare`` and the
+per-generation batch groups built by :mod:`repro.core.batch` are
+embarrassingly parallel but, until this module, executed on one core.
+:class:`ShardDispatcher` forks ``jobs`` long-lived worker processes and
+dispatches provenance groups to them, with the one contract everything
+in this codebase is pinned to: **parallel results are bit-identical to
+serial results**, regardless of worker count or OS scheduling.
+
+How determinism is preserved:
+
+* **Workers own cloned contexts.**  Each worker rebuilds its own
+  :class:`~repro.core.fitness.EvalContext` from the session's reference
+  circuit, library and Monte-Carlo vector set — the same recipe
+  ``Session.resume`` uses — so reference values, STA baselines and
+  metric tails are bit-identical to the parent process's.
+* **The partition is computed in the parent.**
+  :func:`repro.core.batch.group_by_parent` decides which child is
+  incrementally evaluable against which parent and which needs a full
+  evaluation, exactly as the serial path does; workers never make
+  path decisions of their own.
+* **Parents travel once, children every generation.**  A provenance
+  group is shipped as (parent key, children-with-changed-sets).  The
+  first time a parent reaches a worker its full
+  :class:`~repro.core.fitness.CircuitEval` rides along and is cached
+  worker-side (the parent process mirrors the cache bookkeeping, so it
+  knows which worker owns which parent); subsequent generations ship
+  only the children.  Workers re-stamp each child's provenance against
+  their cached parent copy and run the ordinary shared-topo-walk batch
+  path — the same code, the same floats.
+* **Results merge by item index**, so completion order is irrelevant.
+
+Evaluating each gate's value and timing is a pure function of circuit
+structure + vectors + library, so a worker's output for an item equals
+what the serial path would have produced for it (pinned by
+``tests/test_parallel_eval.py``: batch equivalence under jobs=2/4/
+jobs>children, stale-provenance fallbacks, mixed parent groups, and a
+seeded DCGWO run-identity test).
+
+Crash safety: a worker that raises — a poisoned cell library, a bug in
+an evaluation path — reports the pickled exception back; the dispatcher
+then tears the whole pool down (no hung processes) and re-raises the
+original exception in the caller, so ``Session.run`` surfaces it like
+any serial error.  Workers are daemonic as a last-resort backstop.
+
+Job-count resolution (:func:`resolve_jobs`): an explicit ``jobs=``
+argument wins, then the optimizer/flow config's ``jobs`` field, then
+the ``REPRO_JOBS`` environment variable, else serial.  Inside a worker
+the answer is always 1 — nested pools are never spawned.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import traceback
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..netlist import Circuit
+from ..netlist.circuit import Provenance
+from ..sim import ErrorMode, VectorSet
+from .batch import BatchItem, evaluate_batch, group_by_parent
+from .fitness import CircuitEval, DepthMode, EvalContext, evaluate
+
+#: Set in worker processes so :func:`resolve_jobs` never nests pools.
+_IN_WORKER = False
+
+#: Parent-eval cache entries kept per worker (FIFO eviction, mirrored
+#: by the dispatcher so both sides agree on what is resident).
+DEFAULT_CACHE_LIMIT = 128
+
+
+def resolve_jobs(jobs: Optional[int] = None, config: Any = None) -> int:
+    """Effective worker count: explicit arg > config ``jobs`` > env > 1.
+
+    ``REPRO_JOBS`` provides the environment override the CI parallel
+    job uses; inside a shard worker the answer is always 1 so a
+    parallel ``compare`` never spawns pools-within-pools.
+    """
+    if _IN_WORKER:
+        return 1
+    if jobs is not None:
+        return max(1, int(jobs))
+    if config is not None:
+        cfg_jobs = getattr(config, "jobs", 0) or 0
+        if cfg_jobs:
+            return max(1, int(cfg_jobs))
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            return 1
+    return 1
+
+
+def full_structure_key(circuit: Circuit) -> bytes:
+    """Stable digest of the *complete* adjacency (dangling gates too).
+
+    :meth:`Circuit.structure_key` hashes only the live cone — enough for
+    population dedup, but two circuits with equal live structure can
+    still disagree on dangling gates, whose simulated values and
+    arrival times appear in a :class:`CircuitEval`.  Evaluation anchors
+    must therefore match on everything, so this key covers every gate
+    record plus the PI/PO order.  Memoized per structure version.
+    """
+    cached = circuit._cached("full_skey")
+    if cached is not None:
+        return cached
+    items = sorted(
+        (gid, circuit.cells[gid], circuit.fanins[gid])
+        for gid in circuit.fanins
+    )
+    blob = repr((items, circuit.pi_ids, circuit.po_ids)).encode("utf-8")
+    digest = hashlib.blake2b(blob, digest_size=16).digest()
+    return circuit._store("full_skey", digest)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+@dataclass
+class _ContextSpec:
+    """Everything a worker needs to rebuild the session's EvalContext.
+
+    The context itself is never shipped: it is fully determined by
+    (reference circuit, library, error mode, vectors, weights), and the
+    rebuild in the worker reproduces every baseline bit-for-bit — the
+    same invariant ``Session.resume`` relies on.  The vector words are
+    shipped verbatim rather than re-drawn from a seed so contexts built
+    around externally supplied vector sets parallelize too.
+    """
+
+    reference: Circuit
+    library: Any
+    error_mode: ErrorMode
+    vector_words: np.ndarray
+    num_vectors: int
+    wd: float
+    depth_mode: DepthMode
+
+    @classmethod
+    def from_ctx(cls, ctx: EvalContext) -> "_ContextSpec":
+        return cls(
+            reference=ctx.reference,
+            library=ctx.library,
+            error_mode=ctx.error_mode,
+            vector_words=ctx.vectors.words,
+            num_vectors=ctx.vectors.num_vectors,
+            wd=ctx.wd,
+            depth_mode=ctx.depth_mode,
+        )
+
+    def build(self) -> EvalContext:
+        return EvalContext.build(
+            self.reference,
+            self.library,
+            self.error_mode,
+            vectors=VectorSet(self.vector_words, self.num_vectors),
+            wd=self.wd,
+            depth_mode=self.depth_mode,
+        )
+
+
+# A CircuitEval's ``values`` map holds one small numpy row per gate;
+# pickling ~a thousand tiny arrays dominates transport cost, so evals
+# cross the pipe with the rows stacked into a single matrix and the map
+# rebuilt from row views on the other side (rows are treated as
+# immutable everywhere, so views are safe).
+_PackedEval = Tuple[
+    Circuit,  # shares identity with report.circuit through one pickle
+    Any,  # TimingReport
+    np.ndarray,  # value-map keys (int64)
+    np.ndarray,  # value rows, stacked (len(keys), num_words) uint64
+    float,  # depth
+    float,  # area
+    float,  # error
+    List[float],  # per_po_error
+    float,  # fd
+    float,  # fa
+    float,  # fitness
+    int,  # circuit_version
+]
+
+
+def _pack_eval(ev: CircuitEval) -> _PackedEval:
+    values = ev.values
+    keys = np.fromiter(values.keys(), dtype=np.int64, count=len(values))
+    matrix = (
+        np.stack(list(values.values()))
+        if values
+        else np.empty((0, 0), dtype=np.uint64)
+    )
+    return (
+        ev.circuit,
+        ev.report,
+        keys,
+        matrix,
+        ev.depth,
+        ev.area,
+        ev.error,
+        ev.per_po_error,
+        ev.fd,
+        ev.fa,
+        ev.fitness,
+        ev.circuit_version,
+    )
+
+
+def _unpack_eval(packed: _PackedEval) -> CircuitEval:
+    (
+        circuit,
+        report,
+        keys,
+        matrix,
+        depth,
+        area,
+        error,
+        per_po,
+        fd,
+        fa,
+        fitness,
+        version,
+    ) = packed
+    values = {int(k): matrix[i] for i, k in enumerate(keys)}
+    return CircuitEval(
+        circuit=circuit,
+        report=report,
+        values=values,
+        depth=depth,
+        area=area,
+        error=error,
+        per_po_error=per_po,
+        fd=fd,
+        fa=fa,
+        fitness=fitness,
+        circuit_version=version,
+    )
+
+
+def _reattach_provenance(
+    circuit: Circuit, parent: CircuitEval, changed: FrozenSet[int]
+) -> None:
+    """Re-stamp a shipped child against the worker's parent copy.
+
+    Pickling deliberately drops provenance (it is only meaningful
+    relative to an in-memory parent object); the dispatcher shipped the
+    ``changed`` set alongside, and the worker's cached parent is
+    structurally identical to the original, so the re-stamped record
+    drives exactly the cone walk the serial path would have run.
+    """
+    circuit.provenance = Provenance(
+        parent.circuit, parent.circuit_version, changed
+    )
+    circuit._prov_version = circuit._version
+
+
+def _worker_eval(
+    ctx: EvalContext,
+    ref_key: bytes,
+    cache: "Dict[bytes, CircuitEval]",
+    evicts: Sequence[bytes],
+    groups: Sequence[Tuple[bytes, Optional["_PackedEval"], List]],
+    singles: Sequence[Tuple[int, Circuit, bytes]],
+) -> List[Tuple[int, "_PackedEval"]]:
+    """Evaluate one shard: provenance groups + full-eval singles."""
+    for key in evicts:
+        cache.pop(key, None)
+    results: List[Tuple[int, _PackedEval]] = []
+    for key, payload, members in groups:
+        if payload is not None:
+            parent = _unpack_eval(payload)
+            cache[key] = parent
+        elif key == ref_key:
+            parent = ctx.reference_eval()
+        else:
+            parent = cache.get(key)
+            if parent is None:
+                raise RuntimeError(
+                    "shard cache desync: dispatcher referenced a parent "
+                    "this worker does not hold"
+                )
+        items: List[BatchItem] = []
+        for _, circuit, changed, _ in members:
+            _reattach_provenance(circuit, parent, changed)
+            items.append((circuit, parent))
+        evals = evaluate_batch(ctx, items)
+        for (index, _, _, child_key), ev in zip(members, evals):
+            if child_key is not None:
+                cache[child_key] = ev
+            results.append((index, _pack_eval(ev)))
+    for index, circuit, child_key in singles:
+        ev = evaluate(ctx, circuit)
+        if child_key is not None:
+            cache[child_key] = ev
+        results.append((index, _pack_eval(ev)))
+    return results
+
+
+def _worker_run(ctx: EvalContext, method: str, flow_config: Any) -> Any:
+    """Run one whole method (optimizer + post-opt) against the worker ctx."""
+    from ..session import Session
+
+    session = Session(
+        ctx.reference, config=flow_config, library=ctx.library, ctx=ctx
+    )
+    return session.run(method)
+
+
+def _worker_main(conn: Connection, spec: _ContextSpec) -> None:
+    """Worker loop: build the cloned context lazily, serve shard messages.
+
+    The context build is *not* done eagerly at process start: a failing
+    build (e.g. a poisoned cell library) must surface as an ordinary
+    error reply to the first message — raising out of the loop would
+    leave the dispatcher waiting on a dead pipe.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    ctx: Optional[EvalContext] = None
+    ref_key: Optional[bytes] = None
+    init_error: Optional[BaseException] = None
+    cache: Dict[bytes, CircuitEval] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if msg is None or msg[0] == "stop":
+            break
+        try:
+            if ctx is None and init_error is None:
+                try:
+                    ctx = spec.build()
+                    ref_key = full_structure_key(ctx.reference)
+                except BaseException as exc:  # noqa: BLE001 - report, don't die
+                    init_error = exc
+            if init_error is not None:
+                raise init_error
+            kind = msg[0]
+            if kind == "ping":
+                result: Any = None
+            elif kind == "eval":
+                result = _worker_eval(ctx, ref_key, cache, *msg[1:])
+            elif kind == "run":
+                result = _worker_run(ctx, *msg[1:])
+            else:
+                raise RuntimeError(f"unknown shard message {kind!r}")
+            reply: Tuple = ("ok", result)
+        except BaseException as exc:  # noqa: BLE001 - marshal to parent
+            reply = ("err", (exc, traceback.format_exc()))
+        try:
+            conn.send(reply)
+        except Exception as send_exc:  # unpicklable result/exception
+            try:
+                conn.send(
+                    (
+                        "err",
+                        (
+                            RuntimeError(
+                                "worker reply could not be serialized: "
+                                f"{send_exc!r}"
+                            ),
+                            traceback.format_exc(),
+                        ),
+                    )
+                )
+            except Exception:
+                break
+
+
+# ----------------------------------------------------------------------
+# dispatcher (parent side)
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkerPlan:
+    """One worker's share of a dispatch, built deterministically."""
+
+    evicts: List[bytes] = field(default_factory=list)
+    groups: List[Tuple[bytes, Optional[_PackedEval], List]] = field(
+        default_factory=list
+    )
+    singles: List[Tuple[int, Circuit, bytes]] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.groups or self.singles)
+
+
+def _start_method() -> str:
+    """Prefer fork (cheap, inherits the interpreter) when available."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ShardDispatcher:
+    """A pool of evaluation workers with deterministic shard routing.
+
+    Args:
+        ctx: the evaluation context whose workload is being sharded;
+            each worker rebuilds its own clone from the same inputs.
+        jobs: number of worker processes (>= 1; a 1-worker dispatcher
+            is legal but pointless — callers gate on ``jobs > 1``).
+        cache_limit: parent-eval cache entries per worker.  The
+            dispatcher mirrors each worker's FIFO bookkeeping, so both
+            sides always agree on which parents are resident.
+
+    The dispatcher is deliberately single-brained: every routing,
+    caching and eviction decision is made in the parent process and
+    shipped to workers as explicit instructions, which is what makes a
+    run's dispatch sequence — and therefore its results — a pure
+    function of the item stream, independent of scheduling.
+    """
+
+    def __init__(
+        self,
+        ctx: EvalContext,
+        jobs: int,
+        cache_limit: int = DEFAULT_CACHE_LIMIT,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache_limit = max(cache_limit, 8)
+        self._closed = False
+        self._ref_key = full_structure_key(ctx.reference)
+        #: Mirror of each worker's cache keys, in insertion (FIFO) order.
+        self._known: List["OrderedDict[bytes, None]"] = [
+            OrderedDict() for _ in range(jobs)
+        ]
+        self._rr = 0  # round-robin counter for full-eval singles
+        spec = _ContextSpec.from_ctx(ctx)
+        mp = multiprocessing.get_context(_start_method())
+        self._workers: List[Tuple[Any, Connection]] = []
+        for i in range(jobs):
+            parent_conn, child_conn = mp.Pipe()
+            proc = mp.Process(
+                target=_worker_main,
+                args=(child_conn, spec),
+                daemon=True,
+                name=f"repro-shard-{i}",
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append((proc, parent_conn))
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def warmup(self) -> None:
+        """Force every worker to build its context now (optional).
+
+        Useful before timed regions (the runtime-scaling bench measures
+        steady-state throughput) and to surface context-build errors
+        eagerly; :meth:`evaluate_items` works without it.
+        """
+        for w in range(self.jobs):
+            self._send(w, ("ping",))
+        self._collect(range(self.jobs), out=None)
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _register(
+        self,
+        worker: int,
+        key: bytes,
+        plan: _WorkerPlan,
+        pinned: set,
+    ) -> None:
+        """Record that ``worker`` will hold ``key`` after this dispatch.
+
+        FIFO-evicts the oldest unpinned entries beyond ``cache_limit``;
+        keys touched by the current dispatch are pinned so an eviction
+        can never invalidate a group scheduled moments earlier.
+        """
+        known = self._known[worker]
+        if key in known:
+            pinned.add(key)
+            return
+        known[key] = None
+        pinned.add(key)
+        while len(known) > self.cache_limit:
+            victim = next(
+                (old for old in known if old not in pinned), None
+            )
+            if victim is None:
+                break
+            del known[victim]
+            plan.evicts.append(victim)
+
+    def _owner_of(self, key: bytes) -> Optional[int]:
+        for w in range(self.jobs):
+            if key in self._known[w]:
+                return w
+        return None
+
+    def _plan(
+        self, items: Sequence[BatchItem], force_full: bool
+    ) -> List[_WorkerPlan]:
+        """Deterministically partition a generation into worker shards."""
+        if force_full:
+            groups: List = []
+            singles: List[Tuple[int, Circuit]] = [
+                (i, circuit) for i, (circuit, _) in enumerate(items)
+            ]
+        else:
+            groups, singles = group_by_parent(items)
+        plans = [_WorkerPlan() for _ in range(self.jobs)]
+        pinned: set = set()
+        for parent, members in groups:
+            key = full_structure_key(parent.circuit)
+            packed = [
+                (i, circuit, changed, full_structure_key(circuit))
+                for i, circuit, changed in members
+            ]
+            if key == self._ref_key:
+                # Every worker rebuilds the reference eval locally, so
+                # the (large) initial-population group splits for free.
+                chunk = -(-len(packed) // self.jobs)  # ceil div
+                for w in range(self.jobs):
+                    part = packed[w * chunk : (w + 1) * chunk]
+                    if not part:
+                        continue
+                    plans[w].groups.append((key, None, part))
+                    for _, _, _, child_key in part:
+                        self._register(w, child_key, plans[w], pinned)
+                continue
+            owner = self._owner_of(key)
+            payload: Optional[_PackedEval] = None
+            if owner is None:
+                # First sighting: route by key hash, ship the parent.
+                owner = int.from_bytes(key[:8], "big") % self.jobs
+                payload = _pack_eval(parent)
+                self._register(owner, key, plans[owner], pinned)
+            else:
+                pinned.add(key)
+            plans[owner].groups.append((key, payload, packed))
+            for _, _, _, child_key in packed:
+                self._register(owner, child_key, plans[owner], pinned)
+        for i, circuit in singles:
+            w = self._rr % self.jobs
+            self._rr += 1
+            child_key = full_structure_key(circuit)
+            plans[w].singles.append((i, circuit, child_key))
+            self._register(w, child_key, plans[w], pinned)
+        return plans
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _send(self, worker: int, msg: Tuple) -> None:
+        if self._closed:
+            raise RuntimeError("dispatcher is closed")
+        try:
+            self._workers[worker][1].send(msg)
+        except (OSError, ValueError) as exc:
+            failure = RuntimeError(
+                f"parallel worker {worker} is gone ({exc!r})"
+            )
+            self.close(force=True)
+            raise failure from exc
+
+    def _recv_reply(self, worker: int) -> Tuple[str, Any]:
+        """Receive one reply, watching the process as well as the pipe.
+
+        A worker that dies abruptly may never close our end of the pipe
+        (sibling workers forked later hold inherited copies of its write
+        fd), so a bare ``recv`` could block forever; polling with a
+        liveness check turns that into a clean :class:`EOFError`.
+        """
+        proc, conn = self._workers[worker]
+        while True:
+            if conn.poll(0.05):
+                return conn.recv()
+            if not proc.is_alive():
+                if conn.poll(0.05):  # drain a reply racing the exit
+                    return conn.recv()
+                raise EOFError(f"worker exited with {proc.exitcode!r}")
+
+    def _collect(
+        self,
+        workers: Sequence[int],
+        out: Optional[List[Optional[CircuitEval]]],
+    ) -> List[Any]:
+        """Receive one reply per listed worker; merge or fail atomically.
+
+        On any worker error the *original* exception is re-raised after
+        the whole pool is torn down — partially merged results are
+        discarded, and no process is left behind (the crash-safety
+        contract ``tests/test_parallel_eval.py`` pins).
+        """
+        replies: List[Any] = []
+        failure: Optional[BaseException] = None
+        failure_tb = ""
+        for w in workers:
+            try:
+                kind, payload = self._recv_reply(w)
+            except (EOFError, OSError) as exc:
+                if failure is None:
+                    failure = RuntimeError(
+                        f"parallel worker {w} died without replying"
+                    )
+                    failure.__cause__ = exc
+                continue
+            if kind == "err":
+                if failure is None:
+                    failure, failure_tb = payload
+                continue
+            if out is not None:
+                for index, packed in payload:
+                    out[index] = _unpack_eval(packed)
+            replies.append(payload)
+        if failure is not None:
+            self.close(force=True)
+            if failure_tb and hasattr(failure, "add_note"):
+                failure.add_note(
+                    "raised in a shard worker; worker traceback:\n"
+                    + failure_tb
+                )
+            raise failure
+        return replies
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def evaluate_items(
+        self, items: Sequence[BatchItem], force_full: bool = False
+    ) -> List[CircuitEval]:
+        """Evaluate a generation across the pool; bit-identical to serial.
+
+        ``force_full`` mirrors ``use_incremental=False``: every item is
+        fully evaluated (still sharded), matching what the serial path
+        would have computed under that toggle.
+        """
+        if not items:
+            return []
+        plans = self._plan(items, force_full)
+        out: List[Optional[CircuitEval]] = [None] * len(items)
+        active = [w for w, plan in enumerate(plans) if not plan.empty]
+        for w in active:
+            plan = plans[w]
+            self._send(w, ("eval", plan.evicts, plan.groups, plan.singles))
+        self._collect(active, out)
+        return out  # type: ignore[return-value]
+
+    def run_methods(
+        self, methods: Sequence[str], flow_config: Any
+    ) -> Dict[str, Any]:
+        """Run whole methods concurrently (``Session.compare`` backend).
+
+        Each method's full flow (optimizer + post-optimization) runs in
+        one worker against that worker's cloned context; methods beyond
+        the pool size queue up and start as workers free up.  Results
+        come back keyed and are returned in the requested method order.
+        Individual runs are seeded and independent, so concurrency
+        cannot change any result.
+        """
+        pending = deque(methods)
+        inflight: Dict[int, str] = {}
+        results: Dict[str, Any] = {}
+        conn_to_worker = {
+            self._workers[w][1]: w for w in range(self.jobs)
+        }
+        for w in range(self.jobs):
+            if not pending:
+                break
+            method = pending.popleft()
+            self._send(w, ("run", method, flow_config))
+            inflight[w] = method
+        while inflight:
+            ready = connection_wait(
+                [self._workers[w][1] for w in inflight], timeout=0.1
+            )
+            if not ready:
+                # No data: make sure everyone we wait on is still alive
+                # (a dead worker's pipe may be held open by siblings).
+                dead = [
+                    w
+                    for w in inflight
+                    if not self._workers[w][0].is_alive()
+                    and not self._workers[w][1].poll(0)
+                ]
+                if dead:
+                    w = dead[0]
+                    method = inflight.pop(w)
+                    self.close(force=True)
+                    raise RuntimeError(
+                        f"parallel worker {w} died running {method!r}"
+                    )
+                continue
+            for conn in ready:
+                w = conn_to_worker[conn]
+                method = inflight.pop(w)
+                try:
+                    kind, payload = conn.recv()
+                except (EOFError, OSError) as exc:
+                    self.close(force=True)
+                    raise RuntimeError(
+                        f"parallel worker {w} died running {method!r}"
+                    ) from exc
+                if kind == "err":
+                    exc, tb = payload
+                    self.close(force=True)
+                    if tb and hasattr(exc, "add_note"):
+                        exc.add_note(
+                            "raised in a shard worker; worker "
+                            "traceback:\n" + tb
+                        )
+                    raise exc
+                results[method] = payload
+                if pending:
+                    nxt = pending.popleft()
+                    self._send(w, ("run", nxt, flow_config))
+                    inflight[w] = nxt
+        return {m: results[m] for m in methods}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, force: bool = False) -> None:
+        """Shut the pool down; idempotent.
+
+        Graceful close asks workers to exit and joins them; ``force``
+        (the error path) skips the goodbye and terminates stragglers so
+        a poisoned pool can never leave hung processes behind.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for _, conn in self._workers:
+            if not force:
+                try:
+                    conn.send(("stop",))
+                except Exception:
+                    pass
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for proc, _ in self._workers:
+            proc.join(timeout=0.2 if force else 2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+
+    def __enter__(self) -> "ShardDispatcher":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.close(force=True)
+        except Exception:
+            pass
+
+
+def get_dispatcher(ctx: EvalContext, jobs: int) -> ShardDispatcher:
+    """The context's dispatcher, (re)built when absent, closed or resized.
+
+    The dispatcher lives on the :class:`EvalContext` so every consumer
+    of one context — optimizer generations, ``Session.evaluate_batch``,
+    ``Session.compare`` — shares one warm pool, and the worker-side
+    parent caches stay hot across generations.
+    """
+    existing = getattr(ctx, "_dispatcher", None)
+    if (
+        existing is not None
+        and not existing.closed
+        and existing.jobs == jobs
+    ):
+        return existing
+    if existing is not None:
+        existing.close()
+    dispatcher = ShardDispatcher(ctx, jobs)
+    ctx._dispatcher = dispatcher
+    return dispatcher
+
+
+def close_dispatcher(ctx: EvalContext) -> None:
+    """Close and detach the context's dispatcher, if any."""
+    existing = getattr(ctx, "_dispatcher", None)
+    if existing is not None:
+        existing.close()
+        ctx._dispatcher = None

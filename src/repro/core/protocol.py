@@ -22,9 +22,11 @@ third-party plug-in interoperate:
 Evaluation enters through two funnels: :meth:`Optimizer._evaluate` for
 one candidate (cone-limited when provenance allows) and
 :meth:`Optimizer._evaluate_generation` for a whole generation, which
-prefers the shared-topo-walk batch path (:func:`repro.core.batch
-.evaluate_batch`) and falls back to per-candidate incremental
-evaluation.  Both are bit-identical to the full path.
+shards the generation across a process pool when the config requests
+``jobs > 1`` (:mod:`repro.core.parallel`), prefers the in-process
+shared-topo-walk batch path (:func:`repro.core.batch.evaluate_batch`)
+otherwise, and falls back to per-candidate incremental evaluation.
+All paths are bit-identical to the full path.
 """
 
 from __future__ import annotations
@@ -245,13 +247,33 @@ class Optimizer(ABC):
     ) -> List[CircuitEval]:
         """Evaluate a whole candidate generation.
 
-        The preferred entry point of the protocol: when the config
-        enables it, the generation goes through the shared-topo-walk
-        batch evaluator; otherwise each candidate is evaluated
-        individually (still incrementally when possible).  Both paths
-        are bit-identical.
+        The preferred entry point of the protocol: with ``jobs > 1``
+        resolved from the config (or the ``REPRO_JOBS`` environment),
+        the generation is sharded across the context's worker pool;
+        otherwise, when the config enables it, it goes through the
+        in-process shared-topo-walk batch evaluator; otherwise each
+        candidate is evaluated individually (still incrementally when
+        possible).  All paths are bit-identical.
         """
         cfg = self.config
+        if (
+            len(items) > 1
+            and getattr(cfg, "use_parallel", True)
+            # use_batch=False is an ablation pin to per-candidate
+            # evaluation; the shard workers run the batch walk, so it
+            # must disable the parallel route too.
+            and getattr(cfg, "use_batch", True)
+        ):
+            from .parallel import get_dispatcher, resolve_jobs
+
+            jobs = resolve_jobs(config=cfg)
+            if jobs > 1:
+                evals = get_dispatcher(self.ctx, jobs).evaluate_items(
+                    items,
+                    force_full=not getattr(cfg, "use_incremental", True),
+                )
+                self._evaluations += len(items)
+                return evals
         if (
             len(items) > 1
             and getattr(cfg, "use_incremental", True)

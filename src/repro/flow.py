@@ -72,15 +72,21 @@ def run_flow(
     config: Optional[FlowConfig] = None,
     library: Optional[Library] = None,
     ctx: Optional[EvalContext] = None,
+    jobs: Optional[int] = None,
 ) -> FlowResult:
     """Run optimizer + post-optimization on one accurate circuit.
 
     Deprecated shim over :meth:`repro.session.Session.run`.  Pass a
     pre-built ``ctx`` to share the (expensive) reference simulation
-    across methods in a comparison sweep.
+    across methods in a comparison sweep; ``jobs > 1`` shards the
+    generation evaluation across worker processes (bit-identical).
     """
     session = Session(accurate, config=config, library=library, ctx=ctx)
-    return session.run(method)
+    try:
+        return session.run(method, jobs=jobs)
+    finally:
+        if ctx is None:  # a caller-owned context keeps its warm pool
+            session.close()
 
 
 def compare_methods(
@@ -88,10 +94,15 @@ def compare_methods(
     methods: Sequence[str] = METHOD_NAMES,
     config: Optional[FlowConfig] = None,
     library: Optional[Library] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, FlowResult]:
     """Run several methods against one circuit with a shared context.
 
-    Deprecated shim over :meth:`repro.session.Session.compare`.
+    Deprecated shim over :meth:`repro.session.Session.compare`;
+    ``jobs > 1`` runs whole methods concurrently, one per worker.
     """
     session = Session(accurate, config=config, library=library)
-    return session.compare(methods)
+    try:
+        return session.compare(methods, jobs=jobs)
+    finally:
+        session.close()

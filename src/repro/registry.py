@@ -101,7 +101,9 @@ class MethodSpec:
         """Build this method's config from a flow-level config.
 
         Budget fields are effort-scaled; ``seed`` / ``wd`` /
-        ``depth_mode`` are forwarded whenever the config declares them.
+        ``depth_mode`` / ``jobs`` are forwarded whenever the config
+        declares them (``jobs`` is how a flow-level worker count
+        reaches every method's generation evaluation).
         """
         scaled = self.budget.scaled(getattr(flow_cfg, "effort", 1.0))
         kwargs: Dict[str, Any] = {
@@ -109,7 +111,7 @@ class MethodSpec:
             for cfg_field, budget_field in self.budget_fields.items()
         }
         declared = {f.name for f in dataclasses.fields(self.config_cls)}
-        for common in ("seed", "wd", "depth_mode"):
+        for common in ("seed", "wd", "depth_mode", "jobs"):
             if common in declared and hasattr(flow_cfg, common):
                 kwargs[common] = getattr(flow_cfg, common)
         return self.config_cls(**kwargs)

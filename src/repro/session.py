@@ -22,6 +22,16 @@ experimental surface of the paper behind a handful of methods:
   protocol's evaluation entry points for embedding services that bring
   their own candidates.
 
+Everything that evaluates a generation — ``run``, ``compare``,
+``evaluate_batch`` — accepts ``jobs=`` (default: the config's ``jobs``
+field, then the ``REPRO_JOBS`` environment) and shards the work across
+a per-context process pool (:mod:`repro.core.parallel`); ``compare``
+additionally runs whole methods concurrently.  Parallel results are
+bit-identical to serial ones, so ``jobs`` is purely a throughput knob:
+a run may even be checkpointed under one worker count and resumed
+under another.  Use :meth:`Session.close` (or the session as a context
+manager) to release the pool deterministically.
+
 Methods are referenced by registry name ("Ours", "HEDALS", ... —
 case-insensitive, aliases allowed), so third-party optimizers that
 register themselves are first-class citizens of every session API.
@@ -29,6 +39,7 @@ register themselves are first-class citizens of every session API.
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 import time
 from dataclasses import dataclass
@@ -36,6 +47,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from .cells import Library, default_library
 from .core.batch import BatchItem, evaluate_batch
+from .core.parallel import close_dispatcher, get_dispatcher, resolve_jobs
 from .core.fitness import (
     CircuitEval,
     DepthMode,
@@ -74,6 +86,11 @@ class FlowConfig:
     effort: float = 1.0
     max_sizing_moves: int = 120
     pre_synth: bool = False  # run cleanup passes on the input netlist
+    #: Default worker processes for generation evaluation; 0 means
+    #: serial unless ``REPRO_JOBS`` is set.  Per-call ``jobs=``
+    #: arguments override this, and results never depend on it —
+    #: parallel evaluation is bit-identical to serial.
+    jobs: int = 0
 
 
 @dataclass
@@ -166,12 +183,16 @@ class Session:
         self,
         circuits: Sequence[Union[Circuit, BatchItem]],
         parents: ParentEvals = None,
+        jobs: Optional[int] = None,
     ) -> List[CircuitEval]:
         """Evaluate a whole candidate generation with shared work.
 
         ``circuits`` may be bare :class:`Circuit` objects (``parents``
         then applies to all of them) or ``(circuit, parents)`` pairs.
-        Results are bit-identical to sequential incremental evaluation.
+        With ``jobs > 1`` (falling back to ``config.jobs``, then the
+        ``REPRO_JOBS`` environment) the generation is sharded across
+        the session's worker pool.  Results are bit-identical to
+        sequential incremental evaluation either way.
         """
         items: List[BatchItem] = []
         for entry in circuits:
@@ -179,6 +200,9 @@ class Session:
                 items.append((entry, parents))
             else:
                 items.append(entry)
+        n = resolve_jobs(jobs, self.config)
+        if n > 1 and len(items) > 1:
+            return get_dispatcher(self.ctx, n).evaluate_items(items)
         return evaluate_batch(self.ctx, items)
 
     # ------------------------------------------------------------------
@@ -196,6 +220,7 @@ class Session:
         callbacks: Callbacks = None,
         stop_after: Optional[int] = None,
         config: Optional[Any] = None,
+        jobs: Optional[int] = None,
     ) -> OptimizationResult:
         """Run (or continue) one method's optimization stage.
 
@@ -203,7 +228,11 @@ class Session:
         completes and returns a partial result (``completed=False``);
         the paused state stays on the session, so a later call —
         possibly after :meth:`checkpoint` / :meth:`resume` — continues
-        it bit-identically.
+        it bit-identically.  ``jobs`` overrides the method config's
+        worker count for this (and any continued) run; because parallel
+        evaluation is bit-identical to serial, a run may be paused
+        under one ``jobs`` value and resumed under another without
+        changing a single bit of the result.
         """
         key = get_method(method).name
         pending = self._pending.pop(key, None)
@@ -212,6 +241,13 @@ class Session:
         else:
             optimizer = self.optimizer(method, config)
             state = None
+        if jobs is not None and hasattr(optimizer.config, "jobs"):
+            # Replace, don't mutate: the config may be the caller's
+            # object (or a checkpointed one) and a per-call override
+            # must not leak into their later runs.
+            optimizer.config = dataclasses.replace(
+                optimizer.config, jobs=jobs
+            )
         result = optimizer.optimize(
             callbacks=callbacks, state=state, stop_after=stop_after
         )
@@ -225,6 +261,7 @@ class Session:
         callbacks: Callbacks = None,
         config: Optional[Any] = None,
         optimization: Optional[OptimizationResult] = None,
+        jobs: Optional[int] = None,
     ) -> FlowResult:
         """Optimizer + post-optimization: one Problem 1 flow run.
 
@@ -247,7 +284,7 @@ class Session:
             opt_result = optimization
         else:
             opt_result = self.optimize(
-                method, callbacks=callbacks, config=config
+                method, callbacks=callbacks, config=config, jobs=jobs
             )
         area_con = (
             cfg.area_con if cfg.area_con is not None else self.ctx.area_ori
@@ -276,11 +313,37 @@ class Session:
         self,
         methods: Optional[Sequence[str]] = None,
         callbacks: Callbacks = None,
+        jobs: Optional[int] = None,
     ) -> Dict[str, FlowResult]:
-        """Run several methods against the one shared context."""
+        """Run several methods against the one shared context.
+
+        With ``jobs > 1`` whole methods run concurrently, one per
+        worker process (each worker owns a cloned context), and results
+        are returned in the requested method order — bit-identical to
+        the serial sweep because every method's run is independently
+        seeded.  Callbacks cannot stream across process boundaries, so
+        combining them with a parallel compare is rejected.
+        """
         chosen = tuple(methods) if methods is not None else self.methods()
+        # Canonicalize before dispatch so the result keys match the
+        # serial path's (which keys by the requested name).
+        n = resolve_jobs(jobs, self.config)
+        has_pending = any(
+            get_method(m).name in self._pending for m in chosen
+        )
+        if n > 1 and len(chosen) > 1 and not has_pending:
+            if callbacks is not None:
+                raise ValueError(
+                    "callbacks cannot stream from worker processes; "
+                    "run compare() with jobs=1 to observe iterations"
+                )
+            dispatcher = get_dispatcher(self.ctx, min(n, len(chosen)))
+            return dispatcher.run_methods(chosen, self.config)
+        # Paused runs continue in-process (their state lives here), so
+        # a compare touching one falls back to the serial method sweep;
+        # jobs still reaches each run's generation evaluation.
         return {
-            method: self.run(method, callbacks=callbacks)
+            method: self.run(method, callbacks=callbacks, jobs=jobs)
             for method in chosen
         }
 
@@ -344,3 +407,24 @@ class Session:
             )
             session._pending[key] = (optimizer, state)
         return session
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the session's parallel worker pool, if one exists.
+
+        Serial sessions hold no external resources, so this is a no-op
+        for them; parallel runs spawn a per-context worker pool the
+        first time ``jobs > 1`` is resolved, and ``close`` (or use as a
+        context manager) releases it deterministically instead of
+        waiting for garbage collection.  The session stays usable —
+        the pool respawns on the next parallel call.
+        """
+        close_dispatcher(self.ctx)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

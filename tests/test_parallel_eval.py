@@ -1,0 +1,476 @@
+"""Determinism/property suite for multi-process sharded evaluation.
+
+The contract under test: **parallel evaluation is bit-identical to
+serial evaluation** — for any worker count, any shard assignment, and
+every evaluation path (shared topo walk, incremental fallback, full
+fallback).  The suite pins:
+
+* batch equivalence — seeded random LAC generations evaluated with
+  jobs=2, jobs=4 and jobs > children match the serial incremental path
+  value-for-value and arrival-for-arrival;
+* fallback coverage — stale-provenance children (undeclared writes)
+  and mixed-parent generations (several parents + two-parent crossover
+  children) take the same fallback decisions as serial and match bit
+  for bit;
+* run identity — a seeded DCGWO run under jobs=2 produces exactly the
+  serial :class:`OptimizationResult` (fitness, error, structure keys,
+  evaluation counts, history);
+* crash safety — a worker that raises (poisoned cell library) surfaces
+  the *original* exception from ``Session.run`` and leaves no worker
+  process behind;
+* plumbing — ``resolve_jobs`` precedence (arg > config > ``REPRO_JOBS``
+  env > serial) and nested-pool suppression inside workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+
+import pytest
+
+from reference_circuits import build_adder
+
+from repro import FlowConfig, Session
+from repro.cells import Library, default_library
+from repro.core import (
+    DCGWO,
+    DCGWOConfig,
+    EvalContext,
+    LAC,
+    ShardDispatcher,
+    applied_copy,
+    circuit_reproduce,
+    evaluate_batch,
+    evaluate_incremental,
+    is_safe,
+    resolve_jobs,
+)
+from repro.core import parallel as parallel_mod
+from repro.sim import ErrorMode, best_switch
+
+
+NMED_CFG = FlowConfig(
+    error_mode=ErrorMode.NMED,
+    error_bound=0.0244,
+    num_vectors=256,
+    effort=0.25,
+    seed=7,
+)
+
+
+def _ctx(circuit, library, seed=4, num_vectors=256):
+    return EvalContext.build(
+        circuit, library, ErrorMode.NMED, num_vectors=num_vectors, seed=seed
+    )
+
+
+def _lac_children(ctx, count, seed=3, circuit=None, parent=None):
+    """``count`` distinct single-LAC children of ``circuit`` (default:
+    the reference), derived against ``parent``'s evaluated values."""
+    rng = random.Random(seed)
+    parent = parent if parent is not None else ctx.reference_eval()
+    circuit = circuit if circuit is not None else ctx.reference
+    children, seen = [], set()
+    logic = circuit.logic_ids()
+    attempts = 0
+    while len(children) < count and attempts < 200 * count:
+        attempts += 1
+        target = logic[rng.randrange(len(logic))]
+        found = best_switch(
+            circuit, parent.values, target, ctx.vectors.num_vectors
+        )
+        if found is None:
+            continue
+        lac = LAC(target=target, switch=found[0])
+        if not is_safe(circuit, lac):
+            continue
+        child = applied_copy(circuit, lac)
+        key = child.structure_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        children.append(child)
+    assert len(children) == count
+    return children
+
+
+def _assert_same_eval(a, b):
+    assert a.fitness == b.fitness
+    assert a.fd == b.fd
+    assert a.fa == b.fa
+    assert a.depth == b.depth
+    assert a.area == b.area
+    assert a.error == b.error
+    assert a.per_po_error == b.per_po_error
+    assert a.report.cpd == b.report.cpd
+    for gid in a.circuit.gate_ids():
+        assert a.report.arrival[gid] == b.report.arrival[gid], gid
+        assert (a.values[gid] == b.values[gid]).all(), gid
+
+
+def _run_signature(result):
+    return (
+        result.best.fitness,
+        result.best.error,
+        result.best.area,
+        result.best.circuit.structure_key(),
+        result.evaluations,
+        tuple(result.history),
+        tuple(ev.circuit.structure_key() for ev in result.population),
+    )
+
+
+# ----------------------------------------------------------------------
+# batch equivalence properties
+# ----------------------------------------------------------------------
+class TestParallelBatchEquivalence:
+    @pytest.mark.parametrize("jobs", [2, 4, 16])  # 16 > children
+    def test_lac_generation_matches_serial(self, library, jobs):
+        # Identical children are rebuilt against two identical contexts
+        # (evaluation consumes provenance, so each path needs its own).
+        ctx_a = _ctx(build_adder(8), library)
+        ctx_b = _ctx(build_adder(8), library)
+        kids_a = _lac_children(ctx_a, 8)
+        kids_b = _lac_children(ctx_b, 8)
+        with ShardDispatcher(ctx_a, jobs) as dispatcher:
+            got = dispatcher.evaluate_items(
+                [(c, ctx_a.reference_eval()) for c in kids_a]
+            )
+        want = evaluate_batch(
+            ctx_b, [(c, ctx_b.reference_eval()) for c in kids_b]
+        )
+        for a, b in zip(got, want):
+            _assert_same_eval(a, b)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_generations_across_parent_levels(self, library, seed):
+        """Mixed parent groups: grandchildren of several L1 parents."""
+        contexts = (_ctx(build_adder(8), library), _ctx(build_adder(8), library))
+        per_path = []
+        for ctx in contexts:
+            l1 = _lac_children(ctx, 3, seed=seed)
+            l1_evals = [
+                evaluate_incremental(ctx, c, ctx.reference_eval())
+                for c in l1
+            ]
+            items = []
+            for k, parent_ev in enumerate(l1_evals):
+                for child in _lac_children(
+                    ctx,
+                    2,
+                    seed=seed * 17 + k,
+                    circuit=parent_ev.circuit,
+                    parent=parent_ev,
+                ):
+                    items.append((child, (parent_ev,)))
+            per_path.append((ctx, items, l1_evals))
+        ctx_a, items_a, _ = per_path[0]
+        ctx_b, items_b, _ = per_path[1]
+        with ShardDispatcher(ctx_a, 2) as dispatcher:
+            got = dispatcher.evaluate_items(items_a)
+        want = evaluate_batch(ctx_b, items_b)
+        for a, b in zip(got, want):
+            _assert_same_eval(a, b)
+
+    def test_crossover_children_match_serial(self, library):
+        """Two-parent items: the matched parent drives the group."""
+        ctx_a = _ctx(build_adder(8), library, seed=5)
+        ctx_b = _ctx(build_adder(8), library, seed=5)
+        batches = []
+        for ctx in (ctx_a, ctx_b):
+            evals = [
+                evaluate_incremental(ctx, c, ctx.reference_eval())
+                for c in _lac_children(ctx, 2, seed=11)
+            ]
+            child = circuit_reproduce(evals[0], evals[1], ctx)
+            batches.append((child, tuple(evals)))
+        with ShardDispatcher(ctx_a, 2) as dispatcher:
+            got = dispatcher.evaluate_items([batches[0]])[0]
+        want = evaluate_incremental(ctx_b, batches[1][0], batches[1][1])
+        _assert_same_eval(got, want)
+
+    def test_stale_provenance_falls_back_to_full(self, library):
+        """An undeclared write stales provenance on both paths alike."""
+        ctx_a = _ctx(build_adder(6), library)
+        ctx_b = _ctx(build_adder(6), library)
+        staled = []
+        for ctx in (ctx_a, ctx_b):
+            fresh, stale = _lac_children(ctx, 2)
+            gid = stale.logic_ids()[0]
+            stale.fanins[gid] = stale.fanins[gid]  # undeclared write
+            assert stale.valid_provenance() is None
+            staled.append((fresh, stale, ctx.reference_eval()))
+        with ShardDispatcher(ctx_a, 2) as dispatcher:
+            got = dispatcher.evaluate_items(
+                [(c, staled[0][2]) for c in staled[0][:2]]
+            )
+        want = evaluate_batch(
+            ctx_b, [(c, staled[1][2]) for c in staled[1][:2]]
+        )
+        for a, b in zip(got, want):
+            _assert_same_eval(a, b)
+
+    def test_force_full_matches_use_incremental_off(self, library):
+        ctx_a = _ctx(build_adder(6), library)
+        ctx_b = _ctx(build_adder(6), library)
+        kids_a = _lac_children(ctx_a, 4)
+        kids_b = _lac_children(ctx_b, 4)
+        from repro.core import evaluate
+
+        with ShardDispatcher(ctx_a, 2) as dispatcher:
+            got = dispatcher.evaluate_items(
+                [(c, ctx_a.reference_eval()) for c in kids_a],
+                force_full=True,
+            )
+        want = [evaluate(ctx_b, c) for c in kids_b]
+        for a, b in zip(got, want):
+            _assert_same_eval(a, b)
+
+    def test_worker_parent_cache_persists_across_generations(self, library):
+        """Generation 2 reuses generation 1's shipped/cached parents."""
+        ctx_a = _ctx(build_adder(8), library)
+        ctx_b = _ctx(build_adder(8), library)
+        with ShardDispatcher(ctx_a, 2) as dispatcher:
+            gen1_a = dispatcher.evaluate_items(
+                [
+                    (c, ctx_a.reference_eval())
+                    for c in _lac_children(ctx_a, 4, seed=23)
+                ]
+            )
+            items_a = []
+            for k, parent_ev in enumerate(gen1_a):
+                for child in _lac_children(
+                    ctx_a,
+                    2,
+                    seed=29 + k,
+                    circuit=parent_ev.circuit,
+                    parent=parent_ev,
+                ):
+                    items_a.append((child, (parent_ev,)))
+            got = dispatcher.evaluate_items(items_a)
+        gen1_b = evaluate_batch(
+            ctx_b,
+            [
+                (c, ctx_b.reference_eval())
+                for c in _lac_children(ctx_b, 4, seed=23)
+            ],
+        )
+        items_b = []
+        for k, parent_ev in enumerate(gen1_b):
+            for child in _lac_children(
+                ctx_b,
+                2,
+                seed=29 + k,
+                circuit=parent_ev.circuit,
+                parent=parent_ev,
+            ):
+                items_b.append((child, (parent_ev,)))
+        want = evaluate_batch(ctx_b, items_b)
+        for a, b in zip(got, want):
+            _assert_same_eval(a, b)
+
+    def test_session_evaluate_batch_jobs(self, library):
+        circuit = build_adder(8)
+        with Session(circuit, NMED_CFG) as session:
+            kids = _lac_children(session.ctx, 5, seed=2)
+            parent = session.ctx.reference_eval()
+            serial = session.evaluate_batch(list(kids), parents=parent)
+            parallel = session.evaluate_batch(
+                list(kids), parents=parent, jobs=3
+            )
+        for a, b in zip(parallel, serial):
+            # Same objects' evals computed twice (provenance consumed by
+            # the first pass): values/fitness must still agree exactly.
+            assert a.fitness == b.fitness
+            assert a.error == b.error
+            assert a.area == b.area
+
+
+# ----------------------------------------------------------------------
+# run identity
+# ----------------------------------------------------------------------
+class TestParallelRunIdentity:
+    def test_seeded_dcgwo_serial_vs_parallel(self, library):
+        from repro.core import close_dispatcher
+
+        results = []
+        # jobs=1 pins the baseline serial even when REPRO_JOBS is set
+        # (jobs=0 would defer to the environment and compare parallel
+        # against parallel in the REPRO_JOBS=2 CI job).
+        for jobs in (1, 2):
+            ctx = _ctx(build_adder(8), library)
+            cfg = DCGWOConfig(
+                population_size=6, imax=4, seed=11, jobs=jobs
+            )
+            results.append(DCGWO(ctx, 0.0244, cfg).optimize())
+            close_dispatcher(ctx)
+        serial, parallel = results
+        assert _run_signature(serial) == _run_signature(parallel)
+
+    def test_vaacs_generation_sharding_identity(self, library):
+        from repro.baselines import VaACS
+        from repro.baselines.vaacs import VaacsConfig
+        from repro.core import close_dispatcher
+
+        results = []
+        for jobs in (1, 2):  # 1, not 0: keep the baseline env-proof
+            ctx = _ctx(build_adder(8), library)
+            cfg = VaacsConfig(
+                population_size=6, generations=3, seed=5, jobs=jobs
+            )
+            results.append(VaACS(ctx, 0.0244, cfg).optimize())
+            close_dispatcher(ctx)
+        serial, parallel = results
+        assert _run_signature(serial) == _run_signature(parallel)
+
+    def test_compare_parallel_matches_serial(self, library):
+        circuit = build_adder(8)
+        with Session(circuit, NMED_CFG) as serial_session:
+            serial = serial_session.compare(("HEDALS", "Ours"))
+        with Session(circuit, NMED_CFG) as parallel_session:
+            parallel = parallel_session.compare(
+                ("HEDALS", "Ours"), jobs=2
+            )
+        assert list(serial) == list(parallel)
+        for method in serial:
+            a, b = serial[method], parallel[method]
+            assert a.ratio_cpd == b.ratio_cpd
+            assert a.error == b.error
+            assert a.area_fac == b.area_fac
+            assert (
+                a.circuit.structure_key() == b.circuit.structure_key()
+            )
+
+    def test_compare_rejects_callbacks_in_parallel(self, library):
+        from repro.core.protocol import RunCallback
+
+        with Session(build_adder(6), NMED_CFG) as session:
+            with pytest.raises(ValueError, match="callbacks"):
+                session.compare(
+                    ("HEDALS", "Ours"), callbacks=RunCallback(), jobs=2
+                )
+
+
+# ----------------------------------------------------------------------
+# crash safety
+# ----------------------------------------------------------------------
+class PoisonedLibrary(Library):
+    """Behaves normally in the parent, raises in any other process."""
+
+    def __init__(self, inner: Library):
+        self.__dict__.update(inner.__dict__)
+        self._home_pid = os.getpid()
+        self._armed = True
+
+    def cell(self, name):
+        if self._armed and os.getpid() != self._home_pid:
+            raise RuntimeError("poisoned cell library")
+        return super().cell(name)
+
+
+class TestCrashSafety:
+    def _assert_pool_gone(self, session):
+        dispatcher = getattr(session.ctx, "_dispatcher", None)
+        assert dispatcher is not None and dispatcher.closed
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            alive = [
+                p
+                for p in multiprocessing.active_children()
+                if p.name.startswith("repro-shard-")
+            ]
+            if not alive:
+                return
+            time.sleep(0.05)
+        raise AssertionError(f"worker processes left behind: {alive}")
+
+    def test_poisoned_library_surfaces_original_exception(self, library):
+        session = Session(
+            build_adder(8), NMED_CFG, library=PoisonedLibrary(library)
+        )
+        with pytest.raises(RuntimeError, match="poisoned cell library"):
+            session.run("Ours", jobs=2)
+        self._assert_pool_gone(session)
+
+    def test_poisoned_library_in_parallel_compare(self, library):
+        session = Session(
+            build_adder(8), NMED_CFG, library=PoisonedLibrary(library)
+        )
+        with pytest.raises(RuntimeError, match="poisoned cell library"):
+            session.compare(("HEDALS", "Ours"), jobs=2)
+        self._assert_pool_gone(session)
+
+    def test_killed_worker_raises_instead_of_hanging(self, library):
+        """Abrupt worker death (SIGKILL, OOM-kill) must fail fast.
+
+        Sibling workers hold inherited copies of each other's pipe fds,
+        so a dead worker's pipe never reaches EOF on its own — the
+        dispatcher's liveness polling is what turns this into an error
+        rather than an infinite recv."""
+        ctx = _ctx(build_adder(8), library)
+        dispatcher = ShardDispatcher(ctx, 2)
+        dispatcher.warmup()
+        dispatcher._workers[0][0].kill()
+        kids = _lac_children(ctx, 4)
+        with pytest.raises(RuntimeError, match="worker"):
+            dispatcher.evaluate_items(
+                [(c, ctx.reference_eval()) for c in kids]
+            )
+        assert dispatcher.closed
+
+    def test_pool_respawns_after_failure(self, library):
+        """A crashed pool does not wedge the session: serial still works
+        and a later parallel call builds a fresh pool."""
+        poisoned = PoisonedLibrary(library)
+        session = Session(build_adder(8), NMED_CFG, library=poisoned)
+        with pytest.raises(RuntimeError, match="poisoned"):
+            session.run("Ours", jobs=2)
+        # Un-poison: the next worker generation inherits a clean library.
+        poisoned._armed = False
+        kids = _lac_children(session.ctx, 3, seed=2)
+        parent = session.ctx.reference_eval()
+        evals = session.evaluate_batch(list(kids), parents=parent, jobs=2)
+        assert len(evals) == 3
+        session.close()
+
+
+# ----------------------------------------------------------------------
+# plumbing
+# ----------------------------------------------------------------------
+class TestJobsResolution:
+    def test_explicit_beats_config_beats_env(self, monkeypatch):
+        cfg = DCGWOConfig(jobs=3)
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(2, cfg) == 2
+        assert resolve_jobs(None, cfg) == 3
+        assert resolve_jobs(None, DCGWOConfig()) == 5
+        monkeypatch.delenv("REPRO_JOBS")
+        assert resolve_jobs(None, DCGWOConfig()) == 1
+        assert resolve_jobs(None, None) == 1
+
+    def test_env_garbage_degrades_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert resolve_jobs() == 1
+
+    def test_workers_never_nest_pools(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod, "_IN_WORKER", True)
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs(8, DCGWOConfig(jobs=8)) == 1
+
+    def test_jobs_override_does_not_mutate_caller_config(self, library):
+        cfg = DCGWOConfig(population_size=6, imax=2, seed=3, jobs=0)
+        with Session(build_adder(6), NMED_CFG) as session:
+            session.optimize("Ours", config=cfg, jobs=2)
+        assert cfg.jobs == 0
+
+    def test_flow_config_jobs_reaches_method_configs(self, library):
+        from repro import make_optimizer
+
+        ctx = _ctx(build_adder(8), library)
+        cfg = FlowConfig(effort=0.2, jobs=3)
+        assert make_optimizer("Ours", ctx, cfg).config.jobs == 3
+        assert make_optimizer("VaACS", ctx, cfg).config.jobs == 3
+        assert make_optimizer("HEDALS", ctx, cfg).config.jobs == 3

@@ -336,6 +336,43 @@ class TestCheckpointResume:
         assert resumed.completed
         assert self._signature(resumed) == self._signature(baseline)
 
+    @pytest.mark.parametrize("resume_jobs", [2, 4])
+    def test_resume_with_different_jobs_bit_identical(
+        self, adder8, tmp_path, resume_jobs
+    ):
+        """A run paused serially and resumed under another worker count
+        still matches the uninterrupted serial run bit-for-bit —
+        ``jobs`` is a pure throughput knob, never a result knob."""
+        baseline = Session(adder8, NMED_CFG).optimize("Ours")
+
+        paused = Session(adder8, NMED_CFG)
+        partial = paused.optimize("Ours", stop_after=2)
+        assert not partial.completed
+        path = tmp_path / "run.ckpt"
+        paused.checkpoint(str(path))
+
+        resumed_session = Session.resume(str(path))
+        resumed = resumed_session.optimize("Ours", jobs=resume_jobs)
+        resumed_session.close()
+        assert resumed.completed
+        assert self._signature(resumed) == self._signature(baseline)
+
+    def test_pause_parallel_resume_serial_bit_identical(self, adder8, tmp_path):
+        """The mirror image: pause a *parallel* run, finish serially."""
+        baseline = Session(adder8, NMED_CFG).optimize("Ours")
+
+        paused = Session(adder8, NMED_CFG)
+        partial = paused.optimize("Ours", stop_after=1, jobs=2)
+        assert not partial.completed
+        path = tmp_path / "run.ckpt"
+        paused.checkpoint(str(path))
+        paused.close()
+
+        resumed_session = Session.resume(str(path))
+        resumed = resumed_session.optimize("Ours", jobs=1)
+        assert resumed.completed
+        assert self._signature(resumed) == self._signature(baseline)
+
     def test_in_process_pause_resume_identity(self, adder8):
         baseline = Session(adder8, NMED_CFG).optimize("Ours")
         s = Session(adder8, NMED_CFG)
