@@ -204,8 +204,12 @@ def _batch_against_parent(
 
     # Timing + metric tail per child (identical calls to the sequential
     # path; update_timing rederives loads only around the changed gates).
-    from ..sta import update_timing
+    # Warming the parent's level assignment here makes the cost explicit:
+    # every child's masked SoA update walks the same memoized schedule,
+    # so the O(V+E) level build is paid once per parent per version.
+    from ..sta import timing_levels, update_timing
 
+    timing_levels(pc)
     for k, (index, circuit, _, changed) in enumerate(ready):
         report = update_timing(ctx.sta, circuit, parent.report, changed)
         out[index] = _finish_eval(ctx, circuit, report, values_list[k])

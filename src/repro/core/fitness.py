@@ -104,8 +104,35 @@ class EvalContext:
         ):
             return ev
         report = self.reference_report
-        if report is None or report.circuit is not self.reference:
+        if (
+            report is None
+            or report.circuit is not self.reference
+            or report.circuit_version != self.reference.version
+        ):
+            # Object identity alone is not enough: an in-place mutation
+            # of the reference leaves ``report.circuit is reference``
+            # true while every row in the report is stale.  The report
+            # carries the structure version it was computed at exactly
+            # so this check can be made.  The simulated baselines go
+            # stale together with the report (a logic-changing mutation
+            # invalidates reference values, PO words and the unpack
+            # memo), so everything derived from the old structure is
+            # refreshed in one place.
             report = self.sta.analyze(self.reference)
+            self.reference_report = report
+            self.reference_values = simulate(self.reference, self.vectors)
+            self.reference_po = po_words(self.reference, self.reference_values)
+            self._ref_unpack_cache = make_unpack_cache()
+            # The Eq. 8 normalizers are baselines of the (new) accurate
+            # circuit too — recompute them exactly as ``build`` does so
+            # later fitness values match a freshly built context.
+            self.depth_ori = (
+                report.cpd
+                if self.depth_mode is DepthMode.DELAY
+                else float(report.max_unit_depth)
+            )
+            self.area_ori = self.reference.area(self.library)
+            self.cpd_ori = report.cpd
         ev = _finish_eval(self, self.reference, report, self.reference_values)
         self._reference_eval = ev
         return ev

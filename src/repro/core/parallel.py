@@ -74,6 +74,7 @@ import numpy as np
 from ..netlist import Circuit
 from ..netlist.circuit import Provenance
 from ..sim import ErrorMode, VectorSet
+from ..sta import TimingReport
 from .batch import BatchItem, evaluate_batch, group_by_parent
 from .fitness import CircuitEval, DepthMode, EvalContext, evaluate
 
@@ -181,10 +182,13 @@ class _ContextSpec:
 # pickling ~a thousand tiny arrays dominates transport cost, so evals
 # cross the pipe with the rows stacked into a single matrix and the map
 # rebuilt from row views on the other side (rows are treated as
-# immutable everywhere, so views are safe).
+# immutable everywhere, so views are safe).  Timing rides the same way:
+# the report's SoA arrays ship raw (five numpy arrays instead of five
+# per-gate dicts) and the dense gate index is rebuilt memoized from the
+# circuit on the receiving side.
 _PackedEval = Tuple[
     Circuit,  # shares identity with report.circuit through one pickle
-    Any,  # TimingReport
+    Tuple,  # TimingReport.pack(): five SoA arrays + structure version
     np.ndarray,  # value-map keys (int64)
     np.ndarray,  # value rows, stacked (len(keys), num_words) uint64
     float,  # depth
@@ -208,7 +212,7 @@ def _pack_eval(ev: CircuitEval) -> _PackedEval:
     )
     return (
         ev.circuit,
-        ev.report,
+        ev.report.pack(),
         keys,
         matrix,
         ev.depth,
@@ -225,7 +229,7 @@ def _pack_eval(ev: CircuitEval) -> _PackedEval:
 def _unpack_eval(packed: _PackedEval) -> CircuitEval:
     (
         circuit,
-        report,
+        report_payload,
         keys,
         matrix,
         depth,
@@ -240,7 +244,7 @@ def _unpack_eval(packed: _PackedEval) -> CircuitEval:
     values = {int(k): matrix[i] for i, k in enumerate(keys)}
     return CircuitEval(
         circuit=circuit,
-        report=report,
+        report=TimingReport.unpack(circuit, report_payload),
         values=values,
         depth=depth,
         area=area,

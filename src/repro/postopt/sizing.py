@@ -52,16 +52,22 @@ def _estimate_gain(
     circuit: Circuit,
     library: Library,
     report,
-    loads,
     gid: int,
     new_cell,
 ) -> float:
-    """Estimated CPD gain of swapping ``gid`` to ``new_cell``."""
+    """Estimated CPD gain of swapping ``gid`` to ``new_cell``.
+
+    Reads slews and loads straight from the report's SoA arrays (one
+    dense row lookup per fan-in instead of a dict probe).
+    """
+    row = report.index.row
+    slew_a = report.slew_a
+    load_a = report.load_a
     old_cell = library.cell(circuit.cells[gid])
-    load = loads[gid]
+    load = float(load_a[row[gid]])
     # Worst input slew among fan-ins (matches the arc STA would pick).
     slews = [
-        report.slew[fi]
+        float(slew_a[row[fi]])
         for fi in circuit.fanins[gid]
         if not is_const(fi)
     ]
@@ -75,12 +81,12 @@ def _estimate_gain(
                 continue
             drv = library.cell(circuit.cells[fi])
             drv_slews = [
-                report.slew[g]
+                float(slew_a[row[g]])
                 for g in circuit.fanins[fi]
                 if not is_const(g)
             ]
             drv_slew = max(drv_slews) if drv_slews else 10.0
-            drv_load = loads[fi]
+            drv_load = float(load_a[row[fi]])
             gain -= drv.delay(drv_slew, drv_load + dcap) - drv.delay(
                 drv_slew, drv_load
             )
@@ -112,7 +118,6 @@ def resize_for_timing(
 
     current_cpd = report.cpd
     for _ in range(max_moves):
-        loads = report.load
         path_gates = path_logic_gates(circuit, report.critical_path())
         best: Optional[Tuple[float, int, object]] = None
         for gid in path_gates:
@@ -122,9 +127,7 @@ def resize_for_timing(
             old_area = library.cell(circuit.cells[gid]).area
             if area + (new_cell.area - old_area) > area_con:
                 continue
-            gain = _estimate_gain(
-                circuit, library, report, loads, gid, new_cell
-            )
+            gain = _estimate_gain(circuit, library, report, gid, new_cell)
             if gain <= min_gain:
                 continue
             if best is None or gain > best[0]:

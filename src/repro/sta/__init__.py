@@ -1,6 +1,13 @@
 """Static timing analysis substrate (PrimeTime substitute)."""
 
 from .analyzer import STAEngine, TimingReport
+from .store import (
+    TimingIndex,
+    lookup_many,
+    timing_index,
+    timing_levels,
+    timing_plan,
+)
 from .paths import (
     critical_paths,
     path_delay,
@@ -20,6 +27,11 @@ __all__ = [
     "toggle_rate",
     "STAEngine",
     "TimingReport",
+    "TimingIndex",
+    "lookup_many",
+    "timing_index",
+    "timing_levels",
+    "timing_plan",
     "critical_paths",
     "path_delay",
     "path_logic_gates",

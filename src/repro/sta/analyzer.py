@@ -6,56 +6,147 @@ using the NLDM tables, with capacitive loading computed from fan-out pin
 capacitances plus a wire-load estimate.  Produces per-PO arrival times
 (``Ta`` in Eq. 3), the critical-path delay (CPD), unit logic depth, and
 critical-path backtraces.
+
+Results live in a **structure-of-arrays timing store**
+(:mod:`repro.sta.store`): numpy ``float64`` arrays for arrival/slew/load
+and ``int32`` arrays for unit depth / critical fan-in, indexed by the
+dense per-structure :class:`~repro.sta.store.TimingIndex`.  Propagation
+runs level by level with batched NLDM lookups for wide levels and a
+bit-identical scalar loop for thin ones; either way the floats equal the
+historical per-gate scalar walk exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..cells import Library
-from ..netlist import Circuit, is_const
+from ..netlist import Circuit
+from .store import (
+    FloatArrayMap,
+    IntArrayMap,
+    OptionalGateMap,
+    TimingIndex,
+    VECTOR_MIN_GROUP,
+    eval_gate_scalar,
+    lookup_many,
+    timing_index,
+    timing_plan,
+)
 
 
-@dataclass
 class TimingReport:
-    """Results of one STA run.
+    """Results of one STA run, stored as a structure of arrays.
+
+    The per-gate arrays (``arrival_a`` etc.) have ``index.n + 1`` rows:
+    row ``index.row[gid]`` belongs to gate ``gid`` and the final row is
+    the constant-source sentinel.  They are read-only by contract —
+    incremental updates copy before writing.  The historical dict-style
+    API (``report.arrival[gid]``, ``.items()``, ``in``) is preserved by
+    lightweight mapping views.
 
     Attributes:
-        arrival: worst output arrival time per gate (ps).
-        slew: output transition per gate (ps).
-        load: capacitive load per gate output (fF).
-        unit_depth: logic depth per gate (PIs at 0, each gate +1).
-        critical_fanin: the fan-in realising each gate's worst arrival,
-            used for path backtraces.
+        circuit: the analyzed circuit.
+        index: dense gate-id → row index the arrays are laid out by.
+        arrival_a: worst output arrival time per row (ps, float64).
+        slew_a: output transition per row (ps, float64).
+        load_a: capacitive load per row (fF, float64).
+        unit_depth_a: logic depth per row (int32; PIs at 0).
+        critical_fanin_a: fan-in realising each row's worst arrival
+            (int32; -1 encodes "none" — PIs and constant sources).
+        circuit_version: the circuit's structure version at analysis
+            time; consumers use it to detect reports staled by in-place
+            mutation.
     """
 
-    circuit: Circuit
-    arrival: Dict[int, float]
-    slew: Dict[int, float]
-    load: Dict[int, float]
-    unit_depth: Dict[int, int]
-    critical_fanin: Dict[int, Optional[int]]
+    __slots__ = (
+        "circuit",
+        "index",
+        "arrival_a",
+        "slew_a",
+        "load_a",
+        "unit_depth_a",
+        "critical_fanin_a",
+        "circuit_version",
+    )
 
+    def __init__(
+        self,
+        circuit: Circuit,
+        index: TimingIndex,
+        arrival_a: np.ndarray,
+        slew_a: np.ndarray,
+        load_a: np.ndarray,
+        unit_depth_a: np.ndarray,
+        critical_fanin_a: np.ndarray,
+        circuit_version: int,
+    ):
+        self.circuit = circuit
+        self.index = index
+        self.arrival_a = arrival_a
+        self.slew_a = slew_a
+        self.load_a = load_a
+        self.unit_depth_a = unit_depth_a
+        self.critical_fanin_a = critical_fanin_a
+        self.circuit_version = circuit_version
+
+    # ------------------------------------------------------------------
+    # dict-style views
+    # ------------------------------------------------------------------
+    @property
+    def arrival(self) -> FloatArrayMap:
+        """``gid -> arrival`` mapping view (ps)."""
+        return FloatArrayMap(self.index, self.arrival_a)
+
+    @property
+    def slew(self) -> FloatArrayMap:
+        """``gid -> output slew`` mapping view (ps)."""
+        return FloatArrayMap(self.index, self.slew_a)
+
+    @property
+    def load(self) -> FloatArrayMap:
+        """``gid -> capacitive load`` mapping view (fF)."""
+        return FloatArrayMap(self.index, self.load_a)
+
+    @property
+    def unit_depth(self) -> IntArrayMap:
+        """``gid -> logic depth`` mapping view."""
+        return IntArrayMap(self.index, self.unit_depth_a)
+
+    @property
+    def critical_fanin(self) -> OptionalGateMap:
+        """``gid -> worst fan-in (or None)`` mapping view."""
+        return OptionalGateMap(self.index, self.critical_fanin_a)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
     @property
     def cpd(self) -> float:
         """Critical-path delay: the worst PO arrival time (ps)."""
         if not self.circuit.po_ids:
             raise ValueError("circuit has no POs")
-        return max(self.arrival[po] for po in self.circuit.po_ids)
+        return float(np.max(self.arrival_a[self.index.po_rows]))
 
     @property
     def max_unit_depth(self) -> int:
         """Deepest PO in gate levels (the unit-delay depth metric)."""
-        return max(self.unit_depth[po] for po in self.circuit.po_ids)
+        if not self.circuit.po_ids:
+            raise ValueError("circuit has no POs")
+        return int(np.max(self.unit_depth_a[self.index.po_rows]))
 
     def po_arrival(self, po_id: int) -> float:
         """Maximum arrival time ``Ta`` at one PO (ps)."""
-        return self.arrival[po_id]
+        return float(self.arrival_a[self.index.row[po_id]])
 
     def worst_po(self) -> int:
-        """The PO with the largest arrival time."""
-        return max(self.circuit.po_ids, key=lambda po: (self.arrival[po], po))
+        """The PO with the largest arrival time (ties: largest ID)."""
+        arrivals = self.arrival_a[self.index.po_rows]
+        best = np.flatnonzero(arrivals == arrivals.max())
+        po_ids = self.circuit.po_ids
+        return max(po_ids[i] for i in best)
 
     def critical_path(self, po_id: Optional[int] = None) -> List[int]:
         """Backtrace the worst path ending at ``po_id`` (default worst PO).
@@ -63,12 +154,59 @@ class TimingReport:
         Returns gate IDs from the launching PI (or constant) to the PO.
         """
         gid = po_id if po_id is not None else self.worst_po()
+        row = self.index.row
+        cf = self.critical_fanin_a
         path: List[int] = []
         while gid is not None:
             path.append(gid)
-            gid = self.critical_fanin.get(gid)
+            r = row.get(gid)
+            if r is None:
+                break
+            nxt = cf[r]
+            gid = None if nxt < 0 else int(nxt)
         path.reverse()
         return path
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def pack(self) -> Tuple:
+        """The raw array payload shard workers ship across pipes.
+
+        The index is *not* shipped: it is a pure function of the circuit
+        (which travels alongside) and is rebuilt memoized on the other
+        end — pickling the gid → row dict was exactly the per-gate
+        transport cost this store exists to remove.
+        """
+        return (
+            self.arrival_a,
+            self.slew_a,
+            self.load_a,
+            self.unit_depth_a,
+            self.critical_fanin_a,
+            self.circuit_version,
+        )
+
+    @classmethod
+    def unpack(cls, circuit: Circuit, payload: Tuple) -> "TimingReport":
+        """Rebuild a report from :meth:`pack` output plus its circuit."""
+        return cls(circuit, timing_index(circuit), *payload)
+
+    def __getstate__(self):
+        return (self.circuit, self.pack())
+
+    def __setstate__(self, state):
+        circuit, payload = state
+        self.circuit = circuit
+        self.index = timing_index(circuit)
+        (
+            self.arrival_a,
+            self.slew_a,
+            self.load_a,
+            self.unit_depth_a,
+            self.critical_fanin_a,
+            self.circuit_version,
+        ) = payload
 
 
 class STAEngine:
@@ -95,76 +233,107 @@ class STAEngine:
         self.wire_cap_per_fanout = wire_cap_per_fanout
 
     # ------------------------------------------------------------------
-    def compute_loads(self, circuit: Circuit) -> Dict[int, float]:
-        """Capacitive load on every gate output (fF)."""
-        loads: Dict[int, float] = {gid: 0.0 for gid in circuit.fanins}
+    def _loads_array(self, circuit: Circuit, index: TimingIndex) -> np.ndarray:
+        """Capacitive load per row (fF), padded with the sentinel row.
+
+        Accumulation order per driver matches the historical dict
+        implementation (consumers in fan-in dict insertion order), so
+        the floats are bit-identical to it.
+        """
+        loads = np.zeros(index.n + 1, dtype=np.float64)
+        row = index.row
+        wire = self.wire_cap_per_fanout
+        lib_cell = self.library.cell
+        cells = circuit.cells
         for gid, fis in circuit.fanins.items():
             if circuit.is_po(gid):
                 pin_cap = self.po_load
             elif circuit.is_pi(gid):
                 continue
             else:
-                pin_cap = self.library.cell(circuit.cells[gid]).input_cap
+                pin_cap = lib_cell(cells[gid]).input_cap
             for fi in fis:
-                if is_const(fi):
+                if fi < 0:
                     continue
-                loads[fi] += pin_cap + self.wire_cap_per_fanout
+                loads[row[fi]] += pin_cap + wire
         return loads
+
+    def compute_loads(self, circuit: Circuit) -> Dict[int, float]:
+        """Capacitive load on every gate output (fF), as a dict."""
+        index = timing_index(circuit)
+        loads = self._loads_array(circuit, index)
+        row = index.row
+        return {gid: float(loads[row[gid]]) for gid in circuit.fanins}
+
+    # ------------------------------------------------------------------
+    def _eval_group(
+        self,
+        group,
+        arr: np.ndarray,
+        slew: np.ndarray,
+        depth: np.ndarray,
+        cf: np.ndarray,
+        loads: np.ndarray,
+    ) -> None:
+        """Evaluate one cell group in place (vector or scalar kernel).
+
+        The winning fan-in is the *first* index attaining the maximum
+        arrival, matching the historical ``first or arr > best`` scalar
+        scan (``argmax`` returns the first maximum).
+        """
+        cell = self.library.cell(group.cell)
+        rows = group.rows
+        frows = group.frows
+        fgids = group.fgids
+        g = len(rows)
+        if g >= VECTOR_MIN_GROUP:
+            a = arr[frows]
+            s = slew[frows]
+            load = loads[rows]
+            at = a + lookup_many(cell.arc.delay, s, load[:, None])
+            j = np.argmax(at, axis=1)
+            pick = np.arange(g)
+            arr[rows] = at[pick, j]
+            slew[rows] = lookup_many(cell.arc.output_slew, s[pick, j], load)
+            depth[rows] = depth[frows][pick, j] + 1
+            cf[rows] = fgids[pick, j]
+            return
+        k = frows.shape[1]
+        for i in range(g):
+            r = rows[i]
+            fan_timing = [
+                (
+                    float(arr[frows[i, jj]]),
+                    float(slew[frows[i, jj]]),
+                    int(depth[frows[i, jj]]),
+                    int(fgids[i, jj]),
+                )
+                for jj in range(k)
+            ]
+            arr[r], slew[r], depth[r], cf[r] = eval_gate_scalar(
+                cell, fan_timing, float(loads[r]), self.input_slew
+            )
 
     def analyze(self, circuit: Circuit) -> TimingReport:
         """Run full STA and return a :class:`TimingReport`."""
-        loads = self.compute_loads(circuit)
-        arrival: Dict[int, float] = {}
-        slew: Dict[int, float] = {}
-        depth: Dict[int, int] = {}
-        critical_fanin: Dict[int, Optional[int]] = {}
-
-        def source_timing(gid: int) -> Tuple[float, float, int]:
-            if is_const(gid):
-                return 0.0, self.input_slew, 0
-            return arrival[gid], slew[gid], depth[gid]
-
-        for gid in circuit.topological_order():
-            if circuit.is_pi(gid):
-                arrival[gid] = 0.0
-                slew[gid] = self.input_slew
-                depth[gid] = 0
-                critical_fanin[gid] = None
-                continue
-            fis = circuit.fanins[gid]
-            if circuit.is_po(gid):
-                src = fis[0]
-                a, s, d = source_timing(src)
-                arrival[gid] = a
-                slew[gid] = s
-                depth[gid] = d
-                critical_fanin[gid] = None if is_const(src) else src
-                continue
-            cell = self.library.cell(circuit.cells[gid])
-            load = loads[gid]
-            best_arr = 0.0
-            best_slew = self.input_slew
-            best_src: Optional[int] = None
-            best_depth = 0
-            first = True
-            for fi in fis:
-                a, s, d = source_timing(fi)
-                arr = a + cell.delay(s, load)
-                if first or arr > best_arr:
-                    best_arr = arr
-                    best_slew = cell.output_slew(s, load)
-                    best_src = None if is_const(fi) else fi
-                    best_depth = d
-                    first = False
-            arrival[gid] = best_arr
-            slew[gid] = best_slew
-            depth[gid] = best_depth + 1
-            critical_fanin[gid] = best_src
+        plan = timing_plan(circuit)
+        index = plan.index
+        n = index.n
+        loads = self._loads_array(circuit, index)
+        # Initialization covers PIs and the sentinel row in one shot:
+        # arrival 0, slew = input slew, depth 0, no critical fan-in.
+        arr = np.zeros(n + 1, dtype=np.float64)
+        slew = np.full(n + 1, self.input_slew, dtype=np.float64)
+        depth = np.zeros(n + 1, dtype=np.int32)
+        cf = np.full(n + 1, -1, dtype=np.int32)
+        for step in plan.steps:
+            for group in step.groups:
+                self._eval_group(group, arr, slew, depth, cf, loads)
+            if step.po_rows is not None:
+                arr[step.po_rows] = arr[step.po_src_rows]
+                slew[step.po_rows] = slew[step.po_src_rows]
+                depth[step.po_rows] = depth[step.po_src_rows]
+                cf[step.po_rows] = step.po_src_gids
         return TimingReport(
-            circuit=circuit,
-            arrival=arrival,
-            slew=slew,
-            load=loads,
-            unit_depth=depth,
-            critical_fanin=critical_fanin,
+            circuit, index, arr, slew, loads, depth, cf, circuit.version
         )

@@ -3,24 +3,41 @@
 A LAC or a resize perturbs timing only in a cone: the gates whose fan-in
 tuples changed, every gate whose capacitive load changed (the old and new
 switch drivers, or a resized gate's fan-ins), and their transitive
-fan-out.  This module re-propagates arrivals over exactly that set —
-walking the full topological order but skipping untouched gates — the
-same trick PrimeTime's incremental mode uses to make optimization loops
-affordable.
+fan-out.  This module re-propagates arrivals over exactly that set as a
+level-ordered frontier walk over the structure-of-arrays timing store —
+the same trick PrimeTime's incremental mode uses to make optimization
+loops affordable, without ever touching the untouched rows.
 
-Results are bit-identical to a fresh :meth:`STAEngine.analyze`; the
-equivalence is pinned by tests on randomly mutated circuits.
+Results are **bit-identical** to a fresh :meth:`STAEngine.analyze`; the
+equivalence is pinned by tests on randomly mutated circuits.  Two rules
+keep that contract airtight:
+
+* the changed-predicate is *exact* equality — no tolerance.  A
+  sub-epsilon arrival drift silently kept would let incremental floats
+  diverge from the full path, which the old ``_TOL = 1e-12`` allowed.
+* a gate propagates to its fan-outs when **any** of its four outputs
+  (arrival, slew, unit depth, critical fan-in) changed.  Stopping on
+  unchanged arrival/slew alone left downstream ``unit_depth`` /
+  ``critical_fanin`` stale when a tie between fan-ins resolved
+  differently after an upstream edit (equal-delay paths of different
+  depth), diverging from full analysis in ``DepthMode.UNIT`` and in
+  ``critical_path()`` backtraces.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Set, Tuple
+from typing import Iterable, List
 
-from ..netlist import Circuit, is_const
+import numpy as np
+
+from ..netlist import Circuit, PI_CELL, PO_CELL
 from .analyzer import STAEngine, TimingReport
-
-#: Arrivals/slews closer than this are treated as unchanged.
-_TOL = 1e-12
+from .store import (
+    TimingIndex,
+    eval_gate_scalar,
+    timing_index,
+    timing_levels,
+)
 
 
 def _incremental_loads(
@@ -28,43 +45,43 @@ def _incremental_loads(
     circuit: Circuit,
     previous: TimingReport,
     changed: Iterable[int],
-) -> dict:
-    """Load map of ``circuit``, rederiving only perturbed drivers.
+    index: TimingIndex,
+    same_rows: bool,
+) -> np.ndarray:
+    """Load array of ``circuit``, rederiving only perturbed drivers.
 
     A fan-in rewrite or cell swap at gate ``g`` perturbs the loads of
-    ``g``'s old and new fan-ins only; every other driver keeps the load
+    ``g``'s old and new fan-ins only; every other row keeps the load
     ``previous`` recorded.  Requires ``previous.circuit`` to be the
-    *parent* object (so the old fan-in tuples are still readable) — for
-    in-place edits the full O(E) recompute runs instead.  Accumulation
-    order per driver matches :meth:`STAEngine.compute_loads` exactly, so
-    the resulting floats are bit-identical to a full recompute.
+    *parent* object still at the report's structure version (so the old
+    fan-in tuples are readable as they were analyzed) and an unchanged
+    gate-ID set — in-place edits, parents mutated after the report, and
+    add/remove children take the full O(E) recompute instead.
+    Accumulation order per driver matches
+    :meth:`STAEngine._loads_array` exactly, so the resulting floats are
+    bit-identical to a full recompute.
     """
     parent = previous.circuit
-    if parent is circuit:
-        return engine.compute_loads(circuit)
+    if (
+        parent is circuit
+        or not same_rows
+        or parent.version != previous.circuit_version
+    ):
+        return engine._loads_array(circuit, index)
     parent_fanins = parent.fanins
     child_fanins = circuit.fanins
     drivers = set()
     for g in changed:
         drivers.update(parent_fanins.get(g, ()))
         drivers.update(child_fanins.get(g, ()))
-    loads = dict(previous.load)
-    # Deleted gates stop loading their former fan-ins; added gates load
-    # theirs and need a load entry of their own.  Both are discovered
-    # from the adjacency diff so callers need not list them in
-    # ``changed`` (matching the full-recompute contract).
-    for stale in set(loads) - set(child_fanins):
-        del loads[stale]
-        drivers.update(parent_fanins.get(stale, ()))
-    for fresh in set(child_fanins) - set(loads):
-        drivers.add(fresh)
-        drivers.update(child_fanins.get(fresh, ()))
+    loads = previous.load_a.copy()
     fanouts = circuit.fanouts()
     cells = circuit.cells
     lib_cell = engine.library.cell
     wire = engine.wire_cap_per_fanout
+    row = index.row
     for d in drivers:
-        if is_const(d) or d not in child_fanins:
+        if d < 0:
             continue
         total = 0.0
         for consumer in fanouts.get(d, ()):
@@ -73,7 +90,7 @@ def _incremental_loads(
             else:
                 pin_cap = lib_cell(cells[consumer]).input_cap
             total += pin_cap + wire
-        loads[d] = total
+        loads[row[d]] = total
     return loads
 
 
@@ -90,111 +107,220 @@ def update_timing(
     are discovered automatically by re-deriving the load map (only
     around the changed gates when the parent is available), so callers
     only list gates whose fan-in tuple or library cell was rewritten.
+
+    The walk is a masked frontier over the SoA store: the parent's
+    arrays are copied wholesale (five ``memcpy``s instead of five dict
+    copies), dirty rows are seeded per level, and only rows whose
+    fan-ins actually changed output are ever revisited.  When the child
+    shares the parent's gate-ID set and its rewired fan-ins respect the
+    parent's level order (every LAC does — switches come from the TFI),
+    the parent's memoized :func:`timing_levels` drives the walk and the
+    child never pays an O(V+E) schedule build of its own.
     """
-    changed_gates = list(changed_gates)
-    loads = _incremental_loads(engine, circuit, previous, changed_gates)
-    dirty: Set[int] = set()
-    for gid in changed_gates:
-        if not is_const(gid) and gid in circuit.fanins:
-            dirty.add(gid)
-    for gid, load in loads.items():
-        if abs(previous.load.get(gid, -1.0) - load) > _TOL:
-            dirty.add(gid)
+    changed: List[int] = list(changed_gates)
+    pindex = previous.index
+    parent = previous.circuit
+    index = circuit._cached("timing_index")
+    if index is None:
+        # A copy-then-mutate child shares the parent's gate-ID set, so
+        # the parent's dense index (which depends only on the sorted ID
+        # set and the PO list) is reusable as-is — skipping a per-child
+        # sort + row-dict build in the hottest path of the optimizer.
+        if (
+            parent is not circuit
+            and parent.version == previous.circuit_version
+            and pindex.n == len(circuit.fanins)
+            and circuit.fanins.keys() == parent.fanins.keys()
+            and circuit.po_ids == parent.po_ids
+        ):
+            index = circuit._store("timing_index", pindex)
+        else:
+            index = timing_index(circuit)
+    n = index.n
+    same_rows = index is pindex or np.array_equal(index.gids, pindex.gids)
+    loads = _incremental_loads(
+        engine, circuit, previous, changed, index, same_rows
+    )
 
-    arrival = dict(previous.arrival)
-    slew = dict(previous.slew)
-    depth = dict(previous.unit_depth)
-    critical_fanin = dict(previous.critical_fanin)
+    arr = np.empty(n + 1, dtype=np.float64)
+    slew = np.empty(n + 1, dtype=np.float64)
+    depth = np.empty(n + 1, dtype=np.int32)
+    cf = np.empty(n + 1, dtype=np.int32)
+    old_loads = np.empty(n, dtype=np.float64)
+    if same_rows:
+        arr[:n] = previous.arrival_a[:n]
+        slew[:n] = previous.slew_a[:n]
+        depth[:n] = previous.unit_depth_a[:n]
+        cf[:n] = previous.critical_fanin_a[:n]
+        old_loads[:] = previous.load_a[:n]
+        new_rows = np.empty(0, dtype=np.int64)
+    else:
+        # Gates removed since the previous report simply have no row;
+        # gates added (none from LACs, but e.g. post-opt flows) land on
+        # fresh rows, start from placeholders and are seeded dirty.
+        pn = pindex.n
+        if pn:
+            pos = np.minimum(np.searchsorted(pindex.gids, index.gids), pn - 1)
+            shared = pindex.gids[pos] == index.gids
+        else:
+            pos = np.zeros(n, dtype=np.int64)
+            shared = np.zeros(n, dtype=bool)
+        src = pos[shared]
+        head = arr[:n]
+        head[shared] = previous.arrival_a[:pn][src]
+        head[~shared] = 0.0
+        head = slew[:n]
+        head[shared] = previous.slew_a[:pn][src]
+        head[~shared] = engine.input_slew
+        head = depth[:n]
+        head[shared] = previous.unit_depth_a[:pn][src]
+        head[~shared] = 0
+        head = cf[:n]
+        head[shared] = previous.critical_fanin_a[:pn][src]
+        head[~shared] = -1
+        old_loads[shared] = previous.load_a[:pn][src]
+        old_loads[~shared] = -1.0
+        new_rows = np.flatnonzero(~shared)
+    arr[n] = 0.0
+    slew[n] = engine.input_slew
+    depth[n] = 0
+    cf[n] = -1
 
-    # Gates removed since the previous report must not linger.
-    for stale in set(arrival) - set(circuit.fanins):
-        del arrival[stale]
-        slew.pop(stale, None)
-        depth.pop(stale, None)
-        critical_fanin.pop(stale, None)
+    row_of = index.row
+    queued = np.zeros(n, dtype=bool)
+    seeds: List[int] = []
+
+    def _seed(r: int) -> None:
+        if not queued[r]:
+            queued[r] = True
+            seeds.append(r)
+
+    for g in changed:
+        if g >= 0:
+            r = row_of.get(g)
+            if r is not None:
+                _seed(r)
+    # Exact comparison: any load delta, however tiny, dirties the gate.
+    for r in np.flatnonzero(loads[:n] != old_loads):
+        _seed(int(r))
+    for r in new_rows:
+        _seed(int(r))
 
     # Nothing perturbed and no new gates: the previous timing stands.
-    if not dirty and len(arrival) == len(circuit.fanins):
+    if not seeds:
         return TimingReport(
-            circuit=circuit,
-            arrival=arrival,
-            slew=slew,
-            load=loads,
-            unit_depth=depth,
-            critical_fanin=critical_fanin,
+            circuit, index, arr, slew, loads, depth, cf, circuit.version
         )
 
-    def source_timing(gid: int) -> Tuple[float, float, int]:
-        if is_const(gid):
-            return 0.0, engine.input_slew, 0
-        return arrival[gid], slew[gid], depth[gid]
-
-    fanins = circuit.fanins
-    dirty_or_downstream = set(dirty)
-    for gid in circuit.topological_order():
-        fis = fanins[gid]
-        if gid in dirty_or_downstream:
-            affected = True
-        else:
-            affected = False
-            for fi in fis:
-                # Constants (negative IDs) are never dirty.
-                if fi >= 0 and fi in dirty_or_downstream:
-                    affected = True
-                    break
-        if not affected:
-            # New gates (none today, future-proofing) must be computed.
-            if gid in arrival:
+    # Scheduling: process dirty rows level by level.  The parent's
+    # memoized level assignment is reused whenever it is still a valid
+    # stratification of the child — the gate-ID set is unchanged and
+    # every *rewired* fan-in sits at a strictly lower parent level
+    # (unchanged gates inherit validity from the parent's own edges).
+    # LACs always qualify: switches come from the target's TFI.
+    levels = None
+    if (
+        same_rows
+        and parent is not circuit
+        and parent.version == previous.circuit_version
+    ):
+        plevels = timing_levels(parent)
+        level_of = plevels.level_of
+        ok = True
+        for g in changed:
+            if g < 0:
                 continue
-        if circuit.is_pi(gid):
-            arrival[gid] = 0.0
-            slew[gid] = engine.input_slew
-            depth[gid] = 0
-            critical_fanin[gid] = None
+            rg = row_of.get(g)
+            if rg is None:
+                continue
+            lg = level_of[rg]
+            for fi in circuit.fanins[g]:
+                if fi < 0:
+                    continue
+                rfi = row_of.get(fi)
+                if rfi is None or level_of[rfi] >= lg:
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            levels = plevels
+    if levels is None:
+        levels = timing_levels(circuit)
+
+    level_of = levels.level_of
+    buckets: List[List[int]] = [[] for _ in range(levels.num_levels)]
+    for r in seeds:
+        buckets[level_of[r]].append(r)
+
+    fanouts = circuit.fanouts()
+    gids = index.gids
+    fanins_map = circuit.fanins
+    cells_map = circuit.cells
+    lib_cell = engine.library.cell
+    input_slew = engine.input_slew
+    is_new = np.zeros(n, dtype=bool)
+    is_new[new_rows] = True
+
+    for lvl in range(levels.num_levels):
+        bucket = buckets[lvl]
+        if not bucket:
             continue
-        if circuit.is_po(gid):
-            src = fis[0]
-            a, s, d = source_timing(src)
-            changed = abs(arrival.get(gid, -1.0) - a) > _TOL
-            arrival[gid] = a
-            slew[gid] = s
-            depth[gid] = d
-            critical_fanin[gid] = None if is_const(src) else src
-            if changed:
-                dirty_or_downstream.add(gid)
-            continue
-        cell = engine.library.cell(circuit.cells[gid])
-        load = loads[gid]
-        best_arr = 0.0
-        best_slew = engine.input_slew
-        best_src: Optional[int] = None
-        best_depth = 0
-        first = True
-        for fi in fis:
-            a, s, d = source_timing(fi)
-            arr = a + cell.delay(s, load)
-            if first or arr > best_arr:
-                best_arr = arr
-                best_slew = cell.output_slew(s, load)
-                best_src = None if is_const(fi) else fi
-                best_depth = d
-                first = False
-        changed = (
-            abs(arrival.get(gid, -1.0) - best_arr) > _TOL
-            or abs(slew.get(gid, -1.0) - best_slew) > _TOL
-        )
-        arrival[gid] = best_arr
-        slew[gid] = best_slew
-        depth[gid] = best_depth + 1
-        critical_fanin[gid] = best_src
-        if changed:
-            dirty_or_downstream.add(gid)
+        for r in bucket:
+            gid = int(gids[r])
+            cell_name = cells_map[gid]
+            fis = fanins_map[gid]
+            if cell_name == PI_CELL:
+                na, ns, nd, ncf = 0.0, input_slew, 0, -1
+            elif cell_name == PO_CELL:
+                src = fis[0]
+                if src < 0:
+                    na, ns, nd, ncf = 0.0, input_slew, 0, -1
+                else:
+                    sr = row_of[src]
+                    na = float(arr[sr])
+                    ns = float(slew[sr])
+                    nd = int(depth[sr])
+                    ncf = src
+            else:
+                fan_timing = []
+                for fi in fis:
+                    if fi < 0:
+                        fan_timing.append((0.0, input_slew, 0, -1))
+                    else:
+                        fr = row_of[fi]
+                        fan_timing.append(
+                            (
+                                float(arr[fr]),
+                                float(slew[fr]),
+                                int(depth[fr]),
+                                fi,
+                            )
+                        )
+                na, ns, nd, ncf = eval_gate_scalar(
+                    lib_cell(cell_name), fan_timing, float(loads[r]), input_slew
+                )
+            # Propagate when ANY of the four outputs changed, compared
+            # exactly — the stale-depth/backtrace and tolerance-drift
+            # bugs both lived in this predicate.
+            out_changed = (
+                is_new[r]
+                or na != arr[r]
+                or ns != slew[r]
+                or nd != depth[r]
+                or ncf != cf[r]
+            )
+            arr[r] = na
+            slew[r] = ns
+            depth[r] = nd
+            cf[r] = ncf
+            if out_changed:
+                for fo in fanouts.get(gid, ()):
+                    fr = row_of[fo]
+                    if not queued[fr]:
+                        queued[fr] = True
+                        buckets[level_of[fr]].append(fr)
 
     return TimingReport(
-        circuit=circuit,
-        arrival=arrival,
-        slew=slew,
-        load=loads,
-        unit_depth=depth,
-        critical_fanin=critical_fanin,
+        circuit, index, arr, slew, loads, depth, cf, circuit.version
     )

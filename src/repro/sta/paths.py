@@ -4,6 +4,8 @@ The circuit-searching operator (paper §III-B) asks for "the critical paths
 with maximum propagation time from PI to PO"; these helpers extract the
 worst path per endpoint and rank endpoints by arrival, which is exactly
 the ``report_timing -max_paths`` slice of PrimeTime the flow consumes.
+All queries read the SoA timing store directly (one gather over
+``po_rows`` instead of a dict probe per PO).
 """
 
 from __future__ import annotations
@@ -16,16 +18,20 @@ from .analyzer import TimingReport
 
 def po_arrivals(report: TimingReport) -> Dict[int, float]:
     """Arrival time ``Ta`` per PO gate ID."""
-    return {po: report.arrival[po] for po in report.circuit.po_ids}
+    arrivals = report.arrival_a[report.index.po_rows]
+    return {
+        po: float(a) for po, a in zip(report.circuit.po_ids, arrivals)
+    }
 
 
 def worst_endpoints(report: TimingReport, count: int) -> List[int]:
     """The ``count`` POs with the largest arrival times, worst first."""
-    pos = sorted(
-        report.circuit.po_ids,
-        key=lambda po: (-report.arrival[po], po),
+    po_ids = report.circuit.po_ids
+    arrivals = report.arrival_a[report.index.po_rows]
+    order = sorted(
+        range(len(po_ids)), key=lambda i: (-arrivals[i], po_ids[i])
     )
-    return pos[: max(count, 0)]
+    return [po_ids[i] for i in order[: max(count, 0)]]
 
 
 def critical_paths(
@@ -43,9 +49,11 @@ def critical_paths(
         return []
     endpoints = worst_endpoints(report, len(report.circuit.po_ids))
     if slack_fraction is not None:
-        cpd = report.arrival[endpoints[0]]
+        cpd = report.po_arrival(endpoints[0])
         cutoff = cpd * (1.0 - slack_fraction)
-        endpoints = [po for po in endpoints if report.arrival[po] >= cutoff]
+        endpoints = [
+            po for po in endpoints if report.po_arrival(po) >= cutoff
+        ]
     else:
         endpoints = endpoints[:count]
     return [report.critical_path(po) for po in endpoints]
@@ -58,16 +66,17 @@ def path_logic_gates(circuit: Circuit, path: List[int]) -> List[int]:
 
 def path_delay(report: TimingReport, path: List[int]) -> float:
     """Arrival time at the endpoint of a backtraced path (ps)."""
-    return report.arrival[path[-1]]
+    return float(report.arrival_a[report.index.row[path[-1]]])
 
 
 def slack_profile(
     report: TimingReport, clock_period: float
 ) -> List[Tuple[int, float]]:
     """Per-PO slack against ``clock_period``, most negative first."""
+    arrivals = report.arrival_a[report.index.po_rows]
     rows = [
-        (po, clock_period - report.arrival[po])
-        for po in report.circuit.po_ids
+        (po, clock_period - float(a))
+        for po, a in zip(report.circuit.po_ids, arrivals)
     ]
     rows.sort(key=lambda r: (r[1], r[0]))
     return rows

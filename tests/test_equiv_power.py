@@ -74,6 +74,22 @@ class TestEquivalence:
             assert_equivalent(adder4, child)
 
 
+def _unpack_bits(row, num_vectors):
+    """Per-vector bit list of a packed row (test oracle)."""
+    return [
+        (int(row[k // 64]) >> (k % 64)) & 1 for k in range(num_vectors)
+    ]
+
+
+def _toggle_oracle(row, num_vectors):
+    """Scalar reference: fraction of adjacent vector pairs that differ."""
+    if num_vectors < 2:
+        return 0.0
+    bits = _unpack_bits(row, num_vectors)
+    flips = sum(1 for a, b in zip(bits, bits[1:]) if a != b)
+    return flips / (num_vectors - 1)
+
+
 class TestToggleRate:
     def test_constant_signal_never_toggles(self):
         row = np.zeros(2, dtype=np.uint64)
@@ -93,6 +109,47 @@ class TestToggleRate:
     def test_single_vector_no_toggles(self):
         row = np.array([1], dtype=np.uint64)
         assert toggle_rate(row, 1) == 0.0
+
+    def test_exactly_one_full_word(self):
+        # num_vectors == 64: np.roll on a 1-word row wraps onto itself;
+        # the wrapped bit lands past the last boundary and must be
+        # masked out, never counted.
+        rng = np.random.default_rng(0)
+        for _ in range(16):
+            row = rng.integers(0, 2**64, size=1, dtype=np.uint64)
+            assert toggle_rate(row, 64) == pytest.approx(
+                _toggle_oracle(row, 64)
+            )
+
+    def test_single_word_partial(self):
+        # 37 vectors in one word: tail bits are simulation garbage by
+        # layout contract only beyond num_vectors; boundary count stops
+        # at vector 36.
+        rng = np.random.default_rng(1)
+        for _ in range(16):
+            row = rng.integers(0, 2**64, size=1, dtype=np.uint64)
+            row &= np.uint64((1 << 37) - 1)
+            assert toggle_rate(row, 37) == pytest.approx(
+                _toggle_oracle(row, 37)
+            )
+
+    def test_non_multiple_of_64(self):
+        # 100 vectors over 2 words: one real cross-word boundary at
+        # 63->64 plus a masked tail in the final word.
+        rng = np.random.default_rng(2)
+        for _ in range(16):
+            row = rng.integers(0, 2**64, size=2, dtype=np.uint64)
+            row[-1] &= np.uint64((1 << 36) - 1)
+            assert toggle_rate(row, 100) == pytest.approx(
+                _toggle_oracle(row, 100)
+            )
+
+    def test_wrap_bit_never_counts(self):
+        # Adversarial self-wrap: vector 63 = 1, vector 0 = 0.  The
+        # rolled-in bit differs from the last vector but there is no
+        # vector 64 — the rate must be driven by real boundaries only.
+        row = np.array([1 << 63], dtype=np.uint64)
+        assert toggle_rate(row, 64) == pytest.approx(1 / 63)
 
 
 class TestPowerModel:
@@ -145,13 +202,14 @@ class TestPowerModel:
 
 class TestIncrementalSTA:
     def _assert_reports_match(self, full, fast):
-        assert fast.cpd == pytest.approx(full.cpd, abs=1e-9)
+        # Exact equality, not approx: the incremental module's contract
+        # is bit-identical floats (sub-tolerance drift was a bug).
+        assert fast.cpd == full.cpd
         for gid, arr in full.arrival.items():
-            assert fast.arrival[gid] == pytest.approx(arr, abs=1e-9), gid
-            assert fast.slew[gid] == pytest.approx(
-                full.slew[gid], abs=1e-9
-            )
-            assert fast.unit_depth[gid] == full.unit_depth[gid]
+            assert fast.arrival[gid] == arr, gid
+            assert fast.slew[gid] == full.slew[gid], gid
+            assert fast.unit_depth[gid] == full.unit_depth[gid], gid
+            assert fast.critical_fanin[gid] == full.critical_fanin[gid], gid
 
     def test_matches_full_after_lac(self, adder8, library):
         engine = STAEngine(library)

@@ -1,0 +1,537 @@
+"""Structure-of-arrays timing store: layout, kernels, and the
+stale-propagation bugfixes in incremental STA.
+
+Four contracts are pinned here:
+
+* the SoA analyzer is **bit-identical** to the historical per-gate
+  scalar walk (a verbatim port of which lives in this file as the
+  reference), on thin circuits (scalar kernel) and wide ones
+  (vectorized kernel);
+* the batched NLDM lookup equals ``NLDMTable.lookup`` bit for bit on
+  on-grid, out-of-range, and random interior points;
+* ``update_timing`` propagates whenever **any** of a gate's four
+  outputs changed, compared exactly — the tie-resolution and
+  tolerance-drift bugs both lived in that predicate (a constant-delay
+  tie library reproduces them deterministically and property-style);
+* the store's transport contract: reports pickle/pack as raw arrays
+  and rebuild their dense index from the circuit on the other side.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from reference_circuits import build_adder, build_fig3_circuit
+
+from repro.cells import FUNCTIONS, Cell, Library, cell_name, default_library
+from repro.cells.timing_model import NLDMTable, TimingArc
+from repro.core import (
+    DCGWO,
+    DCGWOConfig,
+    EvalContext,
+    LAC,
+    applied_copy,
+    evaluate,
+    evaluate_incremental,
+    is_safe,
+)
+from repro.core.fitness import DepthMode
+from repro.core.parallel import _pack_eval, _unpack_eval
+from repro.netlist import CircuitBuilder, is_const
+from repro.sim import ErrorMode
+from repro.sta import (
+    STAEngine,
+    lookup_many,
+    timing_index,
+    timing_levels,
+    timing_plan,
+    update_timing,
+)
+from repro.sta.store import VECTOR_MIN_GROUP
+
+
+# ----------------------------------------------------------------------
+# scalar reference: a verbatim port of the pre-SoA dict implementation
+# ----------------------------------------------------------------------
+def _scalar_analyze(engine, circuit):
+    loads = {gid: 0.0 for gid in circuit.fanins}
+    for gid, fis in circuit.fanins.items():
+        if circuit.is_po(gid):
+            pin_cap = engine.po_load
+        elif circuit.is_pi(gid):
+            continue
+        else:
+            pin_cap = engine.library.cell(circuit.cells[gid]).input_cap
+        for fi in fis:
+            if is_const(fi):
+                continue
+            loads[fi] += pin_cap + engine.wire_cap_per_fanout
+    arrival, slew, depth, critical_fanin = {}, {}, {}, {}
+
+    def source_timing(gid):
+        if is_const(gid):
+            return 0.0, engine.input_slew, 0
+        return arrival[gid], slew[gid], depth[gid]
+
+    for gid in circuit.topological_order():
+        if circuit.is_pi(gid):
+            arrival[gid] = 0.0
+            slew[gid] = engine.input_slew
+            depth[gid] = 0
+            critical_fanin[gid] = None
+            continue
+        fis = circuit.fanins[gid]
+        if circuit.is_po(gid):
+            a, s, d = source_timing(fis[0])
+            arrival[gid] = a
+            slew[gid] = s
+            depth[gid] = d
+            critical_fanin[gid] = None if is_const(fis[0]) else fis[0]
+            continue
+        cell = engine.library.cell(circuit.cells[gid])
+        load = loads[gid]
+        best_arr, best_slew, best_src, best_depth = 0.0, engine.input_slew, None, 0
+        first = True
+        for fi in fis:
+            a, s, d = source_timing(fi)
+            arr = a + cell.delay(s, load)
+            if first or arr > best_arr:
+                best_arr = arr
+                best_slew = cell.output_slew(s, load)
+                best_src = None if is_const(fi) else fi
+                best_depth = d
+                first = False
+        arrival[gid] = best_arr
+        slew[gid] = best_slew
+        depth[gid] = best_depth + 1
+        critical_fanin[gid] = best_src
+    return loads, arrival, slew, depth, critical_fanin
+
+
+def _wide_circuit():
+    """Levels wide enough to force the vectorized group kernel."""
+    b = CircuitBuilder("wide")
+    pis = b.pis(24)
+    l1 = [b.nand2(pis[i], pis[(i + 1) % 24]) for i in range(24)]
+    l2 = [b.xor2(l1[i], l1[(i + 5) % 24]) for i in range(24)]
+    l3 = [
+        b.gate("MAJ3", l2[i], l2[(i + 1) % 24], l1[(i + 2) % 24])
+        for i in range(24)
+    ]
+    b.pos(l3)
+    return b.done()
+
+
+def _assert_reports_equal(circuit, got, loads, arrival, slew, depth, cf):
+    for gid in circuit.gate_ids():
+        assert got.load[gid] == loads[gid], gid
+        assert got.arrival[gid] == arrival[gid], gid
+        assert got.slew[gid] == slew[gid], gid
+        assert got.unit_depth[gid] == depth[gid], gid
+        assert got.critical_fanin[gid] == cf[gid], gid
+
+
+def _assert_same_timing(circuit, a, b):
+    for gid in circuit.gate_ids():
+        assert a.arrival[gid] == b.arrival[gid], gid
+        assert a.slew[gid] == b.slew[gid], gid
+        assert a.load[gid] == b.load[gid], gid
+        assert a.unit_depth[gid] == b.unit_depth[gid], gid
+        assert a.critical_fanin[gid] == b.critical_fanin[gid], gid
+
+
+class TestAnalyzeBitIdentity:
+    """SoA propagation == the historical scalar walk, bit for bit."""
+
+    @pytest.mark.parametrize(
+        "build", [build_fig3_circuit, lambda: build_adder(8), _wide_circuit]
+    )
+    def test_matches_scalar_reference(self, library, build):
+        circuit = build()
+        engine = STAEngine(library)
+        report = engine.analyze(circuit)
+        _assert_reports_equal(
+            circuit, report, *_scalar_analyze(engine, circuit)
+        )
+
+    def test_wide_circuit_exercises_vector_kernel(self, library):
+        circuit = _wide_circuit()
+        plan = timing_plan(circuit)
+        sizes = [len(g.rows) for step in plan.steps for g in step.groups]
+        assert max(sizes) >= VECTOR_MIN_GROUP
+
+    def test_lookup_many_matches_scalar_lookup(self, library):
+        rng = np.random.default_rng(7)
+        for cell in library.cells()[::5]:
+            for table in (cell.arc.delay, cell.arc.output_slew):
+                s = np.concatenate(
+                    [
+                        np.asarray(table.slew_axis),
+                        [0.01, 1.0, 5000.0],
+                        rng.uniform(2.0, 300.0, 24),
+                    ]
+                )
+                load = np.concatenate(
+                    [
+                        np.asarray(table.load_axis)[: len(s)],
+                        [0.0, 0.1, 900.0],
+                        rng.uniform(0.2, 64.0, 24),
+                    ]
+                )[: len(s)]
+                got = lookup_many(table, s, load)
+                for k in range(len(s)):
+                    assert got[k] == table.lookup(float(s[k]), float(load[k]))
+
+
+class TestStoreLayout:
+    def test_rows_are_sorted_gids(self, library, adder8):
+        report = STAEngine(library).analyze(adder8)
+        gids = report.index.gids
+        assert list(gids) == sorted(adder8.fanins)
+        # one sentinel row past the real ones
+        assert len(report.arrival_a) == report.index.n + 1
+        assert report.critical_fanin_a.dtype == np.int32
+        assert report.unit_depth_a.dtype == np.int32
+
+    def test_mapping_views_behave_like_dicts(self, library, fig3):
+        report = STAEngine(library).analyze(fig3)
+        assert set(report.arrival.keys()) == set(fig3.fanins)
+        assert len(report.slew) == len(fig3.fanins)
+        assert 5 in report.arrival and -1 not in report.arrival
+        assert report.arrival.get(987654) is None
+        assert dict(report.unit_depth) == {
+            g: report.unit_depth[g] for g in fig3.fanins
+        }
+        for pi in fig3.pi_ids:
+            assert report.critical_fanin[pi] is None
+        with pytest.raises(KeyError):
+            report.arrival[987654]
+
+    def test_index_memoized_per_version(self, fig3):
+        idx = timing_index(fig3)
+        assert timing_index(fig3) is idx
+        fig3.substitute(5, -1)
+        assert timing_index(fig3) is not idx
+
+    def test_empty_po_cpd_and_depth_consistent(self, library):
+        b = CircuitBuilder()
+        a = b.pi("a")
+        b.gate("INV", a)
+        report = STAEngine(library).analyze(b.done())
+        with pytest.raises(ValueError, match="no POs"):
+            _ = report.cpd
+        with pytest.raises(ValueError, match="no POs"):
+            _ = report.max_unit_depth
+
+
+class TestTransport:
+    def _child_eval(self, library):
+        circuit = build_adder(6)
+        ctx = EvalContext.build(
+            circuit, library, ErrorMode.ER, num_vectors=128, seed=3
+        )
+        parent = ctx.reference_eval()
+        child = applied_copy(circuit, LAC(circuit.logic_ids()[4], -1))
+        return ctx, evaluate_incremental(ctx, child, parent)
+
+    def test_pack_unpack_round_trip(self, library):
+        _, ev = self._child_eval(library)
+        clone = _unpack_eval(pickle.loads(pickle.dumps(_pack_eval(ev))))
+        assert clone.report.circuit is clone.circuit
+        assert clone.fitness == ev.fitness
+        assert clone.report.cpd == ev.report.cpd
+        assert clone.report.critical_path() == ev.report.critical_path()
+        _assert_same_timing(ev.circuit, clone.report, ev.report)
+
+    def test_report_pickle_rebuilds_index(self, library):
+        _, ev = self._child_eval(library)
+        clone = pickle.loads(pickle.dumps(ev.report))
+        assert clone.index.n == ev.report.index.n
+        assert list(clone.index.gids) == list(ev.report.index.gids)
+        _assert_same_timing(ev.circuit, clone, ev.report)
+
+    def test_pack_ships_raw_arrays(self, library):
+        _, ev = self._child_eval(library)
+        payload = ev.report.pack()
+        assert all(
+            isinstance(a, np.ndarray) for a in payload[:5]
+        )  # no per-gate dicts cross the pipe
+        assert payload[5] == ev.circuit.version
+
+
+class TestReferenceReportStaleness:
+    def test_in_place_mutation_invalidates_reference_report(self, library):
+        circuit = build_adder(4)
+        ctx = EvalContext.build(
+            circuit, library, ErrorMode.ER, num_vectors=128, seed=0
+        )
+        before = ctx.reference_eval()
+        assert before.report is ctx.reference_report
+        # Mutate the reference in place: object identity of the stale
+        # report's circuit still matches, only the version differs.
+        gid = circuit.logic_ids()[0]
+        circuit.set_cell(gid, library.upsize(circuit.cells[gid]).name)
+        after = ctx.reference_eval()
+        assert after.report is not before.report
+        assert after.report.circuit_version == circuit.version
+        fresh = ctx.sta.analyze(circuit)
+        _assert_same_timing(circuit, after.report, fresh)
+
+    def test_logic_mutation_refreshes_reference_values(self, library):
+        # A logic-changing in-place edit stales the simulated baselines
+        # too, not just the timing report: the rebuilt reference eval
+        # must have zero error against its own refreshed PO words.
+        circuit = build_adder(4)
+        ctx = EvalContext.build(
+            circuit, library, ErrorMode.ER, num_vectors=128, seed=0
+        )
+        ctx.reference_eval()
+        stale_po = ctx.reference_po
+        circuit.substitute(circuit.logic_ids()[1], -1)
+        after = ctx.reference_eval()
+        assert ctx.reference_po is not stale_po
+        assert after.error == 0.0
+        # the refreshed value map covers every gate (plus const rows)
+        assert set(circuit.fanins) <= set(after.values)
+        # Eq. 8 baselines follow the mutated reference: the whole eval
+        # must equal what a freshly built context computes.
+        fresh_ctx = EvalContext.build(
+            circuit, library, ErrorMode.ER, num_vectors=128, seed=0
+        )
+        fresh = fresh_ctx.reference_eval()
+        assert ctx.depth_ori == fresh_ctx.depth_ori
+        assert ctx.area_ori == fresh_ctx.area_ori
+        assert ctx.cpd_ori == fresh_ctx.cpd_ori
+        assert after.fitness == fresh.fitness
+        assert after.fd == fresh.fd and after.fa == fresh.fa
+
+
+# ----------------------------------------------------------------------
+# tie-heavy propagation: the stale unit_depth / critical_fanin bugfix
+# ----------------------------------------------------------------------
+def _const_table(value: float) -> NLDMTable:
+    return NLDMTable(
+        (5.0, 10.0), (1.0, 2.0), ((value, value), (value, value))
+    )
+
+
+def _const_cell(function: str, drive: int, delay: float) -> Cell:
+    """A cell with load/slew-independent delay and constant 10 ps slew."""
+    return Cell(
+        name=cell_name(function, drive),
+        function=FUNCTIONS[function],
+        drive=drive,
+        area=1.0,
+        input_cap=1.0,
+        arc=TimingArc(
+            delay=_const_table(delay), output_slew=_const_table(10.0)
+        ),
+        max_load=64.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def tie_library():
+    """Equal-delay cells: arrivals tie exactly between equal-level paths."""
+    return Library(
+        "tie",
+        [
+            _const_cell("BUF", 1, 2.0),
+            _const_cell("BUF", 2, 4.0),  # one D2 hop == two D1 hops
+            _const_cell("AND2", 1, 1.0),
+            _const_cell("OR2", 1, 2.0),
+            _const_cell("INV", 1, 2.0),
+        ],
+    )
+
+
+def _tie_engine(tie_library):
+    return STAEngine(tie_library, wire_cap_per_fanout=0.0)
+
+
+class TestTiePropagation:
+    def _tie_circuit(self):
+        """Two exactly-tied paths of different unit depth into one gate."""
+        b = CircuitBuilder("tie")
+        p = b.pi("p")
+        x1 = b.gate("BUF", p)  # arr 2, depth 1
+        x2 = b.gate("BUF", x1)  # arr 4, depth 2
+        y1 = b.gate("BUF", p, drive=2)  # arr 4, depth 1 -- exact tie
+        g = b.and2(x2, y1)  # winner x2 (first), depth 3
+        h = b.gate("BUF", g)  # depth 4
+        b.po(h, "y")
+        return b.done(), x2, y1, p, g, h
+
+    def test_tie_flip_propagates_depth_downstream(self, tie_library):
+        circuit, x2, y1, p, g, h = self._tie_circuit()
+        x1 = circuit.fanins[x2][0]
+        engine = _tie_engine(tie_library)
+        previous = engine.analyze(circuit)
+        assert previous.critical_fanin[g] == x2  # first fan-in wins ties
+        assert previous.max_unit_depth == 4
+        child = circuit.copy()
+        # Shorten path A upstream of g: only x2 is in the changed set, so
+        # g is *not* a seed — it is recomputed purely because its fan-in
+        # x2's arrival dropped.  At g the tie resolves to y1 with the
+        # arrival and slew exactly unchanged; only unit_depth and
+        # critical_fanin flip, which the old arrival/slew-only predicate
+        # swallowed, leaving h and the PO stale.
+        changed = child.substitute(x1, p)
+        assert changed == [x2] and g not in changed
+        inc = update_timing(engine, child, previous, changed)
+        full = engine.analyze(child)
+        _assert_same_timing(child, inc, full)
+        assert inc.arrival[g] == previous.arrival[g]  # the tie held
+        assert inc.critical_fanin[g] == y1
+        assert inc.unit_depth[g] == 2
+        assert inc.unit_depth[h] == 3  # stale value would be 4
+        assert inc.max_unit_depth == 3
+        assert inc.critical_path() == [p, y1, g, h, child.po_ids[0]]
+
+    def _random_tie_circuit(self, rng):
+        """Layered same-delay DAG: every same-level pair ties exactly."""
+        b = CircuitBuilder("tieprop")
+        signals = b.pis(6)
+        for _ in range(4):
+            layer = []
+            for _ in range(6):
+                fn = rng.choice(["AND2", "OR2"])
+                a, c = rng.sample(signals, 2)
+                layer.append(b.gate(fn, a, c) if fn == "AND2" else b.or2(a, c))
+            signals = layer
+        b.pos(signals[:4])
+        return b.done()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_property_random_edits_match_full(self, tie_library, seed):
+        rng = random.Random(seed)
+        circuit = self._random_tie_circuit(rng)
+        engine = _tie_engine(tie_library)
+        report = engine.analyze(circuit)
+        for _ in range(8):
+            logic = circuit.logic_ids()
+            rng.shuffle(logic)
+            lac = None
+            for target in logic:
+                cands = [
+                    c
+                    for c in circuit.transitive_fanin(target)
+                    if not circuit.is_po(c)
+                ] + [-1, -2]
+                rng.shuffle(cands)
+                for switch in cands:
+                    cand = LAC(target=target, switch=switch)
+                    if is_safe(circuit, cand):
+                        lac = cand
+                        break
+                if lac is not None:
+                    break
+            assert lac is not None
+            child = circuit.copy()
+            changed = child.substitute(lac.target, lac.switch)
+            inc = update_timing(engine, child, report, changed)
+            full = engine.analyze(child)
+            _assert_same_timing(child, inc, full)
+            circuit, report = child, inc
+
+    @pytest.mark.parametrize(
+        "depth_mode", [DepthMode.UNIT, DepthMode.DELAY]
+    )
+    def test_eval_equivalence_under_ties(self, tie_library, depth_mode):
+        rng = random.Random(5)
+        circuit = self._random_tie_circuit(rng)
+        ctx = EvalContext.build(
+            circuit,
+            tie_library,
+            ErrorMode.ER,
+            num_vectors=128,
+            seed=5,
+            depth_mode=depth_mode,
+            sta=_tie_engine(tie_library),
+        )
+        parent = ctx.reference_eval()
+        for target in circuit.logic_ids()[::3]:
+            lac = LAC(target=target, switch=-1)
+            if not is_safe(circuit, lac):
+                continue
+            child = applied_copy(circuit, lac)
+            inc = evaluate_incremental(ctx, child, parent)
+            full = evaluate(ctx, child)
+            assert inc.fitness == full.fitness
+            assert inc.depth == full.depth
+            assert inc.report.max_unit_depth == full.report.max_unit_depth
+            _assert_same_timing(child, inc.report, full.report)
+
+
+class TestLevelReuse:
+    """The parent's memoized level schedule must only be reused validly."""
+
+    def test_lac_child_reuses_parent_index(self, library):
+        circuit = build_adder(6)
+        engine = STAEngine(library)
+        previous = engine.analyze(circuit)
+        child = circuit.copy()
+        changed = child.substitute(child.logic_ids()[3], -1)
+        inc = update_timing(engine, child, previous, changed)
+        # Same gid set: the child shares the parent's index object.
+        assert inc.index is previous.index
+
+    def test_parent_mutated_after_report_falls_back(self, library):
+        circuit = build_adder(6)
+        engine = STAEngine(library)
+        previous = engine.analyze(circuit)
+        child = circuit.copy()
+        changed = child.substitute(child.logic_ids()[3], -1)
+        # Mutate the parent *after* the report: its cached levels no
+        # longer describe the structure the report was computed for.
+        circuit.set_cell(circuit.logic_ids()[0], "AND2D2")
+        inc = update_timing(engine, child, previous, changed)
+        _assert_same_timing(child, inc, engine.analyze(child))
+
+    def test_parent_rewired_after_report_falls_back(self, library):
+        # Structural (fan-in) mutation of the parent after the report:
+        # the incremental load rederivation must not read the parent's
+        # post-mutation adjacency as if it were the analyzed one.
+        circuit = build_adder(6)
+        engine = STAEngine(library)
+        previous = engine.analyze(circuit)
+        child = circuit.copy()
+        target = child.logic_ids()[5]
+        changed = child.substitute(target, -1)
+        circuit.substitute(target, -2)  # parent rewired in place
+        inc = update_timing(engine, child, previous, changed)
+        _assert_same_timing(child, inc, engine.analyze(child))
+
+
+class TestSeededRunsStillIdentical:
+    def test_unit_depth_mode_incremental_identity(self, library):
+        """DepthMode.UNIT end-to-end: the mode the stale-depth bug hit."""
+        circuit = build_adder(6)
+        results = []
+        for use_incremental in (True, False):
+            ctx = EvalContext.build(
+                circuit,
+                library,
+                ErrorMode.ER,
+                num_vectors=128,
+                seed=9,
+                depth_mode=DepthMode.UNIT,
+            )
+            cfg = DCGWOConfig(
+                population_size=4,
+                imax=3,
+                seed=21,
+                use_incremental=use_incremental,
+            )
+            results.append(DCGWO(ctx, 0.05, cfg).optimize())
+        inc, full = results
+        assert inc.best.fitness == full.best.fitness
+        assert inc.best.depth == full.best.depth
+        assert (
+            inc.best.circuit.structure_key()
+            == full.best.circuit.structure_key()
+        )
