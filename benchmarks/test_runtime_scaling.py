@@ -19,16 +19,25 @@ things:
   bit-identical to the serial one before its throughput is reported.
   Speedups are meaningful only when the host grants the process that
   many cores — the available core count is printed alongside.
+* **generation batching** — one generation of LAC children on the
+  reference parent evaluated through the stacked-value-matrix batch
+  walk vs. the sequential incremental loop, asserted bit-identical
+  before either throughput is reported.  The bench fails if batching
+  ever drops below the sequential path it exists to beat.
 * **transport size** — pickled bytes of one shard-packed child eval
   (the unit that crosses a worker pipe every generation), next to what
-  the same eval would cost with the pre-SoA per-gate timing dicts.
+  the same eval would cost with the pre-SoA per-gate timing dicts, and
+  the value payload alone (dense matrix vs the PR-3 keyed row packing).
   Tracked alongside evals/s so packing regressions are as visible as
   throughput regressions.
 """
 
 import os
 import pickle
+import random
 import time
+
+import numpy as np
 
 from _common import num_vectors, publish, seed
 
@@ -41,16 +50,21 @@ from repro.core import (
     LAC,
     applied_copy,
     close_dispatcher,
+    evaluate_batch,
     evaluate_incremental,
     get_dispatcher,
+    is_safe,
 )
 from repro.core.parallel import _pack_eval
 from repro.reporting import format_series
-from repro.sim import ErrorMode
+from repro.sim import ErrorMode, ValueStore, best_switch
 
 WIDTHS = (8, 16, 32, 64, 128)
 PARALLEL_WIDTHS = (64, 128)
 PARALLEL_JOBS = (2, 4)
+#: Children per generation for the batched-vs-sequential row (the
+#: paper's N=30 population, cones overlapping on one parent).
+GENERATION_SIZE = 30
 
 
 def _available_cores() -> int:
@@ -116,6 +130,88 @@ def run_scaling():
     return rows
 
 
+def _generation(ctx, count, rng_seed=11):
+    """``count`` similarity-guided LAC children of the reference."""
+    rng = random.Random(rng_seed)
+    parent = ctx.reference_eval()
+    circuit = ctx.reference
+    logic = circuit.logic_ids()
+    children = []
+    while len(children) < count:
+        target = logic[rng.randrange(len(logic))]
+        found = best_switch(
+            circuit, parent.values, target, ctx.vectors.num_vectors
+        )
+        if found is None:
+            continue
+        lac = LAC(target=target, switch=found[0])
+        if is_safe(circuit, lac):
+            children.append(applied_copy(circuit, lac))
+    return children
+
+
+def _same_eval(a, b):
+    if (
+        a.fitness != b.fitness
+        or a.error != b.error
+        or a.report.cpd != b.report.cpd
+        or a.per_po_error != b.per_po_error
+    ):
+        return False
+    return all(
+        np.array_equal(a.values[g], b.values[g])
+        for g in a.circuit.gate_ids()
+    )
+
+
+def run_generation_batching():
+    """Stacked-batch vs sequential-incremental generation throughput.
+
+    One generation of ``GENERATION_SIZE`` LAC children whose cones all
+    overlap on the reference parent — the workload the stacked value
+    matrices target.  Bit-identity between the two paths is asserted
+    before any number is reported.
+    """
+    library = default_library()
+    rows = {
+        "seq_gen_evals_per_s": [],
+        "batch_gen_evals_per_s": [],
+        "batch_speedup": [],
+    }
+    for width in PARALLEL_WIDTHS:
+        _, ctx = _build_ctx(width, library)
+        parent = ctx.reference_eval()
+        children = _generation(ctx, GENERATION_SIZE)
+        # Identity first (copies carry the same provenance record).
+        batch_evals = evaluate_batch(
+            ctx, [(c.copy(), (parent,)) for c in children]
+        )
+        seq_evals = [
+            evaluate_incremental(ctx, c.copy(), parent) for c in children
+        ]
+        assert all(
+            isinstance(ev.values, ValueStore) for ev in batch_evals
+        )
+        assert all(_same_eval(a, b) for a, b in zip(batch_evals, seq_evals))
+        best_seq = best_batch = float("inf")
+        for _ in range(3):
+            clones = [(c.copy(), (parent,)) for c in children]
+            start = time.perf_counter()
+            for circuit, parents in clones:
+                evaluate_incremental(ctx, circuit, parents[0])
+            best_seq = min(best_seq, time.perf_counter() - start)
+            clones = [(c.copy(), (parent,)) for c in children]
+            start = time.perf_counter()
+            evaluate_batch(ctx, clones)
+            best_batch = min(best_batch, time.perf_counter() - start)
+        seq_rate = len(children) / best_seq
+        batch_rate = len(children) / best_batch
+        rows["seq_gen_evals_per_s"].append(seq_rate)
+        rows["batch_gen_evals_per_s"].append(batch_rate)
+        rows["batch_speedup"].append(batch_rate / seq_rate)
+    return rows
+
+
 def _legacy_pack_bytes(ev):
     """Pickled size of the pre-SoA packing (five per-gate timing dicts).
 
@@ -145,6 +241,9 @@ def run_transport_sizes():
         "ratio": [],
         "rpt_soa_kb": [],
         "rpt_dict_kb": [],
+        "val_dense_kb": [],
+        "val_keyed_kb": [],
+        "val_ratio": [],
     }
     for width in PARALLEL_WIDTHS:
         circuit, ctx = _build_ctx(width, library)
@@ -157,6 +256,23 @@ def run_transport_sizes():
         rows["soa_kb"].append(soa / 1024.0)
         rows["dict_kb"].append(legacy / 1024.0)
         rows["ratio"].append(soa / legacy)
+        # The value payload alone: dense matrix (no keys on the wire)
+        # vs the PR-3 keyed row packing it replaced.
+        values = ev.values
+        dense = len(pickle.dumps((None, values.matrix)))
+        keyed = len(
+            pickle.dumps(
+                (
+                    np.fromiter(
+                        values.keys(), dtype=np.int64, count=len(values)
+                    ),
+                    np.stack(list(values.values())),
+                )
+            )
+        )
+        rows["val_dense_kb"].append(dense / 1024.0)
+        rows["val_keyed_kb"].append(keyed / 1024.0)
+        rows["val_ratio"].append(dense / keyed)
         # The timing report alone (what the SoA store changed).
         report = ev.report
         rows["rpt_soa_kb"].append(len(pickle.dumps(report.pack())) / 1024.0)
@@ -225,6 +341,15 @@ def test_runtime_scaling(benchmark):
         "\nparallel runs asserted bit-identical to serial before "
         "throughput is reported"
     )
+    generation_rows = run_generation_batching()
+    text += "\n\n" + format_series(
+        "Generation evaluation, stacked batch vs sequential incremental "
+        f"({GENERATION_SIZE} LAC children on the reference parent; "
+        "bit-identity asserted first)",
+        "width",
+        list(PARALLEL_WIDTHS),
+        generation_rows,
+    )
     transport_rows = run_transport_sizes()
     text += "\n\n" + format_series(
         "Per-eval shard transport (pickled kB: SoA timing arrays "
@@ -236,8 +361,14 @@ def test_runtime_scaling(benchmark):
     publish("runtime_scaling", text)
     # The SoA packing must actually be smaller than the dict packing it
     # replaced — a transport regression fails the bench like a
-    # throughput regression would.
+    # throughput regression would.  Same for the dense value matrix vs
+    # the keyed row packing.  The stacked batch walk must never drop
+    # materially below the sequential incremental loop (the two share
+    # the timing tail, which dominates; the 5% floor absorbs container
+    # scheduling noise around the measured ~1.05-1.1x advantage).
     assert all(r < 1.0 for r in transport_rows["ratio"])
+    assert all(r < 1.0 for r in transport_rows["val_ratio"])
+    assert all(r >= 0.95 for r in generation_rows["batch_speedup"])
     # Soft check: per-gate cost must stay within an order of magnitude
     # across a 16x size sweep (i.e. roughly linear overall scaling).
     per_gate = rows["ms_per_gate"]

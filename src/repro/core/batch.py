@@ -1,4 +1,4 @@
-"""Generation-batched candidate evaluation (shared parent topo walk).
+"""Generation-batched candidate evaluation (stacked value matrices).
 
 Evaluating a whole candidate generation one circuit at a time repeats
 the same structural work per child: the topological order, the fan-out
@@ -9,41 +9,56 @@ parent.  :func:`evaluate_batch` amortises that across the generation:
 * children are grouped by the parent evaluation their provenance record
   points at (the error/timing *values* still come from each child's own
   changed cone, so grouping loses nothing);
-* each group reuses the **parent's** cached topological order, fan-out
-  map and TFO cones — the child never builds its own O(V+E) structures;
-* one walk over the parent's topological order visits every child's
-  dirty gates in a single pass (the ROADMAP's "shared topo walk,
-  stacked value matrices" item).
+* each group reuses the **parent's** cached row index, level schedule,
+  fan-out map and TFO cones — the child never builds its own O(V+E)
+  structures;
+* all children of one parent simulate against a single stacked
+  ``(B, rows, num_words)`` tensor forked from the parent's
+  :class:`~repro.sim.store.ValueStore` matrix.  A dirty gate shared by
+  several children is gathered and evaluated as **one** numpy op across
+  all of them, and gates are grouped per topological level by cell
+  function (the :func:`~repro.sta.store.timing_plan` analogue), so the
+  Python dispatch cost is paid per (level, function) instead of per
+  (gate, child);
+* children in ``singles`` that share a full structure key are evaluated
+  once per key and the result is shared by item index.
 
-Correctness rests on two facts, both checked per child with cheap O(cone)
-guards that fall back to :func:`~repro.core.fitness.evaluate_incremental`
-when violated:
+Correctness of the stacked walk rests on two facts, both checked per
+child with cheap O(cone) guards that fall back to
+:func:`~repro.core.fitness.evaluate_incremental` when violated:
 
 1. A child's dirty set (TFO of its changed gates) computed on the parent
    graph equals the one computed on the child graph: edges into an
    unchanged gate are identical in both, and changed gates are seeds.
-2. The parent's topological order remains a valid evaluation order for
-   the child's dirty cone as long as every *changed* gate's fan-ins sit
-   earlier in that order (unchanged gates inherit validity from the
-   parent).  LACs always satisfy this (switches come from the TFI), and
-   reproduction children of a common ancestor's ID space almost always
-   do.
+2. The parent's topological *level* schedule remains a valid evaluation
+   order for the child's dirty cone as long as every *changed* gate's
+   fan-ins sit at a strictly lower parent level (unchanged gates inherit
+   validity from the parent's own edges).  LACs always satisfy this —
+   switches come from the target's TFI — and it is the same predicate
+   :func:`repro.sta.update_timing` uses to reuse the parent's levels.
 
 Results are **bit-identical** to the sequential incremental path (and
-therefore to the full path): each gate's value depends only on its
-fan-in rows, which the validity guard orders correctly, and the metric
-tail runs through the same :func:`~repro.core.fitness._finish_eval`.
-Pinned by ``tests/test_session_api.py``.
+therefore to the full path): every gate value is a pure elementwise
+bitwise word operation (``word_eval_many`` row-by-row equals
+``word_eval`` exactly), evaluated after all of its fan-in rows, and the
+metric tail runs through the same
+:func:`~repro.core.fitness._finish_eval`.  Pinned by
+``tests/test_session_api.py`` and ``tests/test_value_store.py``.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..netlist import Circuit
-from ..sim.bitsim import ValueMap, _const_rows
+from ..sim.bitsim import _const_rows, resimulate_cone
+from ..sim.store import ValueStore, value_rows
 from ..cells import FUNCTIONS, split_cell_name
 from ..netlist import PI_CELL, PO_CELL
+from ..sta import timing_levels, update_timing
 from .fitness import (
     CircuitEval,
     EvalContext,
@@ -57,6 +72,12 @@ from .fitness import (
 #: One batch entry: the candidate circuit plus the parent eval(s) its
 #: provenance record may point at (same contract as the incremental path).
 BatchItem = Tuple[Circuit, ParentEvals]
+
+#: Minimum (child, gate) pairs before a (level, function) group takes
+#: the stacked kernel; smaller groups run the scalar row loop.  Both
+#: are bit-identical (elementwise uint64 ops), so this is a pure perf
+#: knob like :data:`repro.sta.store.VECTOR_MIN_GROUP`.
+STACK_MIN_GROUP = 2
 
 
 def _normalize_parents(parents: ParentEvals) -> Sequence[CircuitEval]:
@@ -105,16 +126,43 @@ def group_by_parent(
     return groups, singles
 
 
+def _shared_levels_valid(
+    level_of: np.ndarray,
+    row_of: Dict[int, int],
+    circuit: Circuit,
+    changed: FrozenSet[int],
+) -> bool:
+    """Can the parent's level schedule drive this child's dirty cone?
+
+    Only the *changed* gates can have rewired fan-ins; every one of them
+    (and each of its non-constant fan-ins) must exist in the parent
+    index with the fan-in at a strictly lower level.  Unchanged gates
+    carry the parent's edges and are valid by construction.  This is
+    the predicate :func:`repro.sta.update_timing` applies before
+    reusing the parent's levels — every LAC passes it.
+    """
+    fanins = circuit.fanins
+    for gid in changed:
+        if gid < 0:
+            continue
+        rg = row_of.get(gid)
+        fis = fanins.get(gid)
+        if rg is None or fis is None:
+            return False
+        lg = level_of[rg]
+        for fi in fis:
+            if fi < 0:
+                continue
+            rf = row_of.get(fi)
+            if rf is None or level_of[rf] >= lg:
+                return False
+    return True
+
+
 def _shared_order_valid(
     pos: Dict[int, int], circuit: Circuit, changed: FrozenSet[int]
 ) -> bool:
-    """Can the parent's topo order drive this child's dirty cone?
-
-    Only the *changed* gates can have rewired fan-ins; every one of them
-    (and each of its fan-ins) must exist in the parent order with the
-    fan-in strictly earlier.  Unchanged gates carry the parent's edges
-    and are valid by construction.
-    """
+    """Topo-position variant of the guard (the dict-walk fallback)."""
     fanins = circuit.fanins
     for gid in changed:
         if gid < 0:
@@ -132,13 +180,207 @@ def _shared_order_valid(
     return True
 
 
+#: A dispatch record: (level, function-or-None-for-PO, row, fan-in rows).
+_GateRec = Tuple[int, Optional[str], int, Tuple[int, ...]]
+
+
 def _batch_against_parent(
     ctx: EvalContext,
     parent: CircuitEval,
     group: List[Tuple[int, Circuit, FrozenSet[int]]],
     out: List[Optional[CircuitEval]],
 ) -> None:
-    """Evaluate one parent's children with a single shared topo walk."""
+    """Evaluate one parent's children on one stacked value tensor."""
+    pc = parent.circuit
+    parent_keys = pc.fanins.keys()
+    pvals = parent.values
+    if not isinstance(pvals, ValueStore) or not pvals.covers(pc):
+        # The parent eval predates the SoA store (e.g. a dict produced
+        # by the diverged resimulate_cone fallback): run the historical
+        # per-child dict walk — same results, no stacking.
+        _batch_against_parent_rows(ctx, parent, group, out)
+        return
+    index = pvals.index
+    levels = pc._cached("timing_levels")
+    if levels is None and not pc.gid_order_topo():
+        levels = timing_levels(pc)
+    if levels is not None:
+        level_of = levels.level_of
+        recs_key = "batch_value_recs"
+    else:
+        # Rows are sorted gate IDs; on a gid-topological parent (every
+        # population member) "one row per level" is already a valid
+        # stratification, so a fresh chase parent never pays the
+        # O(V+E) level build just to schedule its few children.  An
+        # already-memoized level schedule (the reference parent) is
+        # still preferred — it groups wide levels into fewer buckets.
+        # The record memo is keyed per schedule kind: records embed
+        # level numbers, and mixing the two schedules would interleave
+        # incomparable keys.
+        level_of = np.arange(index.n, dtype=np.int32)
+        recs_key = "batch_value_recs_rows"
+    row_of = index.row
+    vrows = value_rows(index)
+
+    ready: List[Tuple[int, Circuit, Set[int], FrozenSet[int]]] = []
+    for item_index, circuit, changed in group:
+        if (
+            circuit.fanins.keys() != parent_keys
+            or not _shared_levels_valid(level_of, row_of, circuit, changed)
+        ):
+            # Structure diverged beyond what the stacked walk covers
+            # (gates added/removed, or a rewrite against the parent's
+            # level order): this child takes the sequential path, same
+            # results.
+            out[item_index] = evaluate_incremental(ctx, circuit, parent)
+            continue
+        dirty: Set[int] = set()
+        for gid in changed:
+            if gid >= 0:
+                # The parent's memoized TFO equals the child's here (see
+                # module docstring), so cone walks are shared too.
+                dirty |= pc.transitive_fanout(gid, include_self=True)
+        ready.append((item_index, circuit, dirty, changed))
+    if not ready:
+        return
+
+    if len(ready) == 1:
+        # A one-child group gains nothing from stacking; reuse the
+        # sequential dirty-row walk (one shared kernel, same bits) with
+        # the cone already computed on the parent's structures.  DCGWO
+        # chase children mostly pair distinct parents, so this is hot.
+        item_index, circuit, dirty, changed = ready[0]
+        values = resimulate_cone(
+            circuit, ctx.vectors, pvals, changed, dirty=dirty
+        )
+        report = update_timing(ctx.sta, circuit, parent.report, changed)
+        out[item_index] = _finish_eval(ctx, circuit, report, values)
+        return
+
+    # Every child starts as a full copy of the parent's matrix (PI and
+    # constant rows included), then only dirty rows are overwritten —
+    # the tensor analogue of `dict(parent.values)` per child.
+    matrix = pvals.matrix
+    stacked = np.empty((len(ready),) + matrix.shape, dtype=matrix.dtype)
+    stacked[:] = matrix
+
+    # Dispatch: bucket every (child, dirty gate) pair per (level,
+    # function).  Records for *unchanged* gates are a pure function of
+    # the parent structure, memoized on the parent across generations;
+    # changed gates read the child's own cell/fan-ins.
+    recs: Dict[int, Optional[_GateRec]] = pc._cached(recs_key)
+    if recs is None:
+        recs = pc._store(recs_key, {})
+    pcells = pc.cells
+    pfanins = pc.fanins
+    func_buckets: Dict[Tuple[int, str], List[Tuple[int, int, Tuple[int, ...]]]] = {}
+    po_buckets: Dict[int, List[Tuple[int, int, int]]] = {}
+    for k, (_, circuit, dirty, changed) in enumerate(ready):
+        ccells = circuit.cells
+        cfanins = circuit.fanins
+        for gid in dirty:
+            if gid in changed:
+                cell = ccells[gid]
+                if cell == PI_CELL:
+                    continue
+                r = row_of[gid]
+                lv = int(level_of[r])
+                fis = cfanins[gid]
+                if cell == PO_CELL:
+                    po_buckets.setdefault(lv, []).append(
+                        (k, r, vrows[fis[0]])
+                    )
+                    continue
+                function, _ = split_cell_name(cell)
+                func_buckets.setdefault((lv, function), []).append(
+                    (k, r, tuple(vrows[fi] for fi in fis))
+                )
+                continue
+            rec = recs.get(gid, False)
+            if rec is False:
+                cell = pcells[gid]
+                if cell == PI_CELL:
+                    rec = None
+                else:
+                    r = row_of[gid]
+                    lv = int(level_of[r])
+                    fis = pfanins[gid]
+                    if cell == PO_CELL:
+                        rec = (lv, None, r, (vrows[fis[0]],))
+                    else:
+                        function, _ = split_cell_name(cell)
+                        rec = (
+                            lv,
+                            function,
+                            r,
+                            tuple(vrows[fi] for fi in fis),
+                        )
+                recs[gid] = rec
+            if rec is None:
+                continue
+            lv, function, r, frows = rec
+            if function is None:
+                po_buckets.setdefault(lv, []).append((k, r, frows[0]))
+            else:
+                func_buckets.setdefault((lv, function), []).append(
+                    (k, r, frows)
+                )
+
+    # Execute level by level; within a level, groups are independent
+    # (all fan-ins sit at lower levels) and each (child, row) pair is
+    # written exactly once, so bucket order cannot change any bit.
+    by_level: Dict[int, List[str]] = {}
+    for lv, function in func_buckets:
+        by_level.setdefault(lv, []).append(function)
+    for lv in sorted(set(by_level) | set(po_buckets)):
+        for function in sorted(by_level.get(lv, ())):
+            pairs = func_buckets[(lv, function)]
+            fn = FUNCTIONS[function]
+            if len(pairs) >= STACK_MIN_GROUP:
+                ks = np.array([p[0] for p in pairs], dtype=np.int64)
+                rows = np.array([p[1] for p in pairs], dtype=np.int64)
+                frows = np.array([p[2] for p in pairs], dtype=np.int64)
+                gathered = stacked[ks[:, None], frows]  # (P, arity, W)
+                stacked[ks, rows] = fn.word_eval_many(
+                    [gathered[:, j] for j in range(frows.shape[1])]
+                )
+            else:
+                word_eval = fn.word_eval
+                for k, r, frows in pairs:
+                    child_matrix = stacked[k]
+                    child_matrix[r] = word_eval(
+                        [child_matrix[f] for f in frows]
+                    )
+        po_pairs = po_buckets.get(lv)
+        if po_pairs:
+            ks = np.array([p[0] for p in po_pairs], dtype=np.int64)
+            rows = np.array([p[1] for p in po_pairs], dtype=np.int64)
+            srcs = np.array([p[2] for p in po_pairs], dtype=np.int64)
+            stacked[ks, rows] = stacked[ks, srcs]
+
+    # Timing + metric tail per child (identical calls to the sequential
+    # path; update_timing rederives loads only around the changed gates
+    # and schedules its frontier on shared structures the same way).
+    # Each child takes its own matrix copy so an archived eval never
+    # pins the whole generation's tensor.
+    for k, (item_index, circuit, _, changed) in enumerate(ready):
+        report = update_timing(ctx.sta, circuit, parent.report, changed)
+        store = ValueStore(index, stacked[k].copy())
+        out[item_index] = _finish_eval(ctx, circuit, report, store)
+
+
+def _batch_against_parent_rows(
+    ctx: EvalContext,
+    parent: CircuitEval,
+    group: List[Tuple[int, Circuit, FrozenSet[int]]],
+    out: List[Optional[CircuitEval]],
+) -> None:
+    """Historical shared topo walk over per-child dict value maps.
+
+    Kept as the fallback for parent evals without a dense store; every
+    result is bit-identical to the stacked walk and to the sequential
+    incremental path.
+    """
     pc = parent.circuit
     order = pc.topological_order()
     pos = {gid: i for i, gid in enumerate(order)}
@@ -150,16 +392,11 @@ def _batch_against_parent(
             circuit.fanins.keys() != parent_keys
             or not _shared_order_valid(pos, circuit, changed)
         ):
-            # Structure diverged beyond what the shared walk covers
-            # (gates added/removed, or a rewrite against parent order):
-            # this child takes the sequential path, same results.
             out[index] = evaluate_incremental(ctx, circuit, parent)
             continue
         dirty: Set[int] = set()
         for gid in changed:
             if gid >= 0:
-                # The parent's memoized TFO equals the child's here (see
-                # module docstring), so cone walks are shared too.
                 dirty |= pc.transitive_fanout(gid, include_self=True)
         ready.append((index, circuit, dirty, changed))
     if not ready:
@@ -170,15 +407,13 @@ def _batch_against_parent(
     pi_rows = {
         pi: ctx.vectors.words[row] for row, pi in enumerate(pc.pi_ids)
     }
-    values_list: List[ValueMap] = []
+    values_list: List[Dict[int, np.ndarray]] = []
     for _, circuit, _, _ in ready:
-        values: ValueMap = dict(parent.values)
+        values: Dict[int, np.ndarray] = dict(parent.values)
         values.update(const_rows)
         values.update(pi_rows)
         values_list.append(values)
 
-    # The shared walk: visit each gate of the parent order once and
-    # evaluate it for exactly the children whose cones it dirties.
     touch: Dict[int, List[int]] = {}
     for k, (_, _, dirty, _) in enumerate(ready):
         for gid in dirty:
@@ -202,13 +437,6 @@ def _batch_against_parent(
                 [values[fi] for fi in fis]
             )
 
-    # Timing + metric tail per child (identical calls to the sequential
-    # path; update_timing rederives loads only around the changed gates).
-    # Warming the parent's level assignment here makes the cost explicit:
-    # every child's masked SoA update walks the same memoized schedule,
-    # so the O(V+E) level build is paid once per parent per version.
-    from ..sta import timing_levels, update_timing
-
     timing_levels(pc)
     for k, (index, circuit, _, changed) in enumerate(ready):
         report = update_timing(ctx.sta, circuit, parent.report, changed)
@@ -223,16 +451,41 @@ def evaluate_batch(
     ``items`` pairs each candidate circuit with the parent eval(s) its
     provenance may match (exactly what the sequential loop would pass to
     :func:`~repro.core.fitness.evaluate_incremental`).  Children sharing
-    a matched parent are evaluated in one shared topo walk; unmatched or
-    structurally-diverged children fall back to the sequential path.
+    a matched parent are evaluated on one stacked value tensor;
+    unmatched or structurally-diverged children fall back to the
+    sequential path.  Full-evaluation singles that share a *complete*
+    structure (:meth:`~repro.netlist.Circuit.full_structure_key`, which
+    covers dangling gates — two live-equal circuits can still differ in
+    dangling loads and therefore in timing) are evaluated once per key
+    and the result shared by item index; a duplicate's metrics are the
+    same floats a separate evaluation would produce, because evaluation
+    is a pure function of the full structure.
 
     Returns one :class:`CircuitEval` per item, in order — bit-identical
     to evaluating each item with ``evaluate_incremental``.
     """
     out: List[Optional[CircuitEval]] = [None] * len(items)
     groups, singles = group_by_parent(items)
+    first_of: Dict[bytes, int] = {}
     for i, circuit in singles:
-        out[i] = evaluate(ctx, circuit)
+        key = circuit.full_structure_key()
+        j = first_of.get(key)
+        if j is None:
+            first_of[key] = i
+            out[i] = evaluate(ctx, circuit)
+        else:
+            # Mirror _finish_eval's provenance release on the duplicate
+            # (its record was never consumed), then hand the item its
+            # own eval record: metrics/report/values are shared with
+            # the evaluated twin (read-only, and identical floats by
+            # full-structure equality), but ``eval.circuit`` stays the
+            # circuit passed at this index so identity-keyed callers
+            # and future provenance matches against it keep working.
+            circuit.provenance = None
+            first = out[j]
+            out[i] = replace(
+                first, circuit=circuit, circuit_version=circuit.version
+            )
     for parent, group in groups:
         _batch_against_parent(ctx, parent, group, out)
     return out  # type: ignore[return-value]

@@ -310,6 +310,20 @@ def evaluate_incremental(
     if match is None:
         return evaluate(ctx, circuit)
     parent, changed = match
-    values = resimulate_cone(circuit, ctx.vectors, parent.values, changed)
+    # A copy-then-mutate child shares the parent's gate-ID set, so the
+    # dirty cone computed on the parent's memoized fan-out map equals
+    # the child's (changed gates are seeds; edges into unchanged gates
+    # are identical in both) — the child never builds its own O(V+E)
+    # fan-out map just to find its cone.
+    pc = parent.circuit
+    dirty = None
+    if pc.fanins.keys() == circuit.fanins.keys():
+        dirty = set()
+        for gid in changed:
+            if gid >= 0:
+                dirty |= pc.transitive_fanout(gid, include_self=True)
+    values = resimulate_cone(
+        circuit, ctx.vectors, parent.values, changed, dirty=dirty
+    )
     report = update_timing(ctx.sta, circuit, parent.report, changed)
     return _finish_eval(ctx, circuit, report, values)

@@ -52,7 +52,6 @@ the answer is always 1 — nested pools are never spawned.
 
 from __future__ import annotations
 
-import hashlib
 import multiprocessing
 import os
 import traceback
@@ -74,6 +73,7 @@ import numpy as np
 from ..netlist import Circuit
 from ..netlist.circuit import Provenance
 from ..sim import ErrorMode, VectorSet
+from ..sim.store import ValueStore, value_store_index
 from ..sta import TimingReport
 from .batch import BatchItem, evaluate_batch, group_by_parent
 from .fitness import CircuitEval, DepthMode, EvalContext, evaluate
@@ -111,25 +111,13 @@ def resolve_jobs(jobs: Optional[int] = None, config: Any = None) -> int:
 
 
 def full_structure_key(circuit: Circuit) -> bytes:
-    """Stable digest of the *complete* adjacency (dangling gates too).
+    """Back-compat shim: see :meth:`Circuit.full_structure_key`.
 
-    :meth:`Circuit.structure_key` hashes only the live cone — enough for
-    population dedup, but two circuits with equal live structure can
-    still disagree on dangling gates, whose simulated values and
-    arrival times appear in a :class:`CircuitEval`.  Evaluation anchors
-    must therefore match on everything, so this key covers every gate
-    record plus the PI/PO order.  Memoized per structure version.
+    The digest moved onto :class:`~repro.netlist.Circuit` so the batch
+    evaluator's singles dedup can use it without importing this module
+    (which imports the batch evaluator).
     """
-    cached = circuit._cached("full_skey")
-    if cached is not None:
-        return cached
-    items = sorted(
-        (gid, circuit.cells[gid], circuit.fanins[gid])
-        for gid in circuit.fanins
-    )
-    blob = repr((items, circuit.pi_ids, circuit.po_ids)).encode("utf-8")
-    digest = hashlib.blake2b(blob, digest_size=16).digest()
-    return circuit._store("full_skey", digest)
+    return circuit.full_structure_key()
 
 
 # ----------------------------------------------------------------------
@@ -178,19 +166,20 @@ class _ContextSpec:
         )
 
 
-# A CircuitEval's ``values`` map holds one small numpy row per gate;
-# pickling ~a thousand tiny arrays dominates transport cost, so evals
-# cross the pipe with the rows stacked into a single matrix and the map
-# rebuilt from row views on the other side (rows are treated as
-# immutable everywhere, so views are safe).  Timing rides the same way:
-# the report's SoA arrays ship raw (five numpy arrays instead of five
-# per-gate dicts) and the dense gate index is rebuilt memoized from the
-# circuit on the receiving side.
+# A CircuitEval's ``values`` are a dense SoA matrix laid out by the
+# same sorted-gid row numbering as the timing arrays, so evals cross
+# the pipe with that matrix shipped raw — no per-gate keys, no dict
+# repacking — and the row index is rebuilt memoized from the circuit on
+# the receiving side (``keys is None`` marks the dense layout).  Legacy
+# dict value maps (the diverged-fallback path) still ship as a key
+# array plus stacked rows, exactly as PR 3 packed them.  Timing rides
+# the same way: the report's SoA arrays ship raw (five numpy arrays
+# instead of five per-gate dicts).
 _PackedEval = Tuple[
     Circuit,  # shares identity with report.circuit through one pickle
     Tuple,  # TimingReport.pack(): five SoA arrays + structure version
-    np.ndarray,  # value-map keys (int64)
-    np.ndarray,  # value rows, stacked (len(keys), num_words) uint64
+    Optional[np.ndarray],  # value-map keys (int64); None = dense store
+    np.ndarray,  # value matrix: (index.n + 2, W) dense or stacked rows
     float,  # depth
     float,  # area
     float,  # error
@@ -204,12 +193,16 @@ _PackedEval = Tuple[
 
 def _pack_eval(ev: CircuitEval) -> _PackedEval:
     values = ev.values
-    keys = np.fromiter(values.keys(), dtype=np.int64, count=len(values))
-    matrix = (
-        np.stack(list(values.values()))
-        if values
-        else np.empty((0, 0), dtype=np.uint64)
-    )
+    if isinstance(values, ValueStore):
+        keys: Optional[np.ndarray] = None
+        matrix = values.matrix
+    else:
+        keys = np.fromiter(values.keys(), dtype=np.int64, count=len(values))
+        matrix = (
+            np.stack(list(values.values()))
+            if values
+            else np.empty((0, 0), dtype=np.uint64)
+        )
     return (
         ev.circuit,
         ev.report.pack(),
@@ -241,7 +234,13 @@ def _unpack_eval(packed: _PackedEval) -> CircuitEval:
         fitness,
         version,
     ) = packed
-    values = {int(k): matrix[i] for i, k in enumerate(keys)}
+    if keys is None:
+        # Dense store: rebuild the (memoized) row index from the
+        # circuit that travelled alongside — same sorted-gid numbering
+        # the sender laid the matrix out by.
+        values: Any = ValueStore(value_store_index(circuit), matrix)
+    else:
+        values = {int(k): matrix[i] for i, k in enumerate(keys)}
     return CircuitEval(
         circuit=circuit,
         report=TimingReport.unpack(circuit, report_payload),

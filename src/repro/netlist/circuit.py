@@ -370,6 +370,33 @@ class Circuit:
         cache[key] = result
         return result
 
+    def gid_order_topo(self) -> bool:
+        """True when ascending gate ID is a valid topological order.
+
+        Circuits built gate-after-gate (every benchmark builder) have
+        this property, and every population operator preserves it: LAC
+        switches come from the target's TFI (smaller IDs by induction),
+        reproduction mixes fan-in tuples from two preserving parents,
+        and simplification only drops pins.  Consumers use it to run
+        sorted-gid (= dense-row) evaluation schedules without building
+        a per-child topological order.  Memoized per structure version;
+        an O(E) scan, several times cheaper than a Kahn walk plus the
+        fan-out map it needs.
+        """
+        cached = self._cached("gid_topo")
+        if cached is not None:
+            return cached
+        ok = True
+        for gid, fis in self._fanins.items():
+            for fi in fis:
+                # Constants are negative, so `fi < gid` covers them.
+                if fi >= gid:
+                    ok = False
+                    break
+            if not ok:
+                break
+        return self._store("gid_topo", ok)
+
     def live_gates(self) -> FrozenSet[int]:
         """Gates reachable backwards from any PO (POs and PIs included).
 
@@ -582,6 +609,29 @@ class Circuit:
             prov.changed | frozenset(changed),
         )
         self._prov_version = self._version
+
+    def full_structure_key(self) -> bytes:
+        """Stable digest of the *complete* adjacency (dangling gates too).
+
+        :meth:`structure_key` hashes only the live cone — enough for
+        population dedup, but two circuits with equal live structure
+        can still disagree on dangling gates, whose simulated values,
+        capacitive loads and arrival times all appear in a
+        :class:`~repro.core.fitness.CircuitEval`.  Evaluation anchors
+        (shard-worker parent caches, batch singles dedup) must
+        therefore match on everything, so this key covers every gate
+        record plus the PI/PO order.  Memoized per structure version.
+        """
+        cached = self._cached("full_skey")
+        if cached is not None:
+            return cached
+        items = sorted(
+            (gid, self._cells[gid], self._fanins[gid])
+            for gid in self._fanins
+        )
+        blob = repr((items, self.pi_ids, self.po_ids)).encode("utf-8")
+        digest = hashlib.blake2b(blob, digest_size=16).digest()
+        return self._store("full_skey", digest)
 
     def structure_key(self) -> int:
         """Order-independent digest of the live structure.

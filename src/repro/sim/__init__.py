@@ -7,6 +7,7 @@ from .bitsim import (
     resimulate_cone,
     simulate,
 )
+from .store import ValueStore, value_rows, value_store_index
 from .error import (
     ErrorMode,
     ErrorReport,
@@ -28,6 +29,9 @@ from .vectors import VectorSet, count_ones, exhaustive_vectors, random_vectors
 
 __all__ = [
     "ValueMap",
+    "ValueStore",
+    "value_rows",
+    "value_store_index",
     "evaluate_single",
     "po_words",
     "resimulate_cone",

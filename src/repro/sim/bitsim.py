@@ -4,20 +4,30 @@ Evaluates every gate on a packed :class:`~repro.sim.vectors.VectorSet` in
 topological order; 64 Monte-Carlo vectors advance per word operation.
 This is the workhorse behind error estimation (the paper's VECBEE role)
 and output-similarity tables.
+
+Values live in the structure-of-arrays :class:`~repro.sim.store.ValueStore`
+(one dense uint64 matrix laid out by the shared timing row index) rather
+than a per-gate dict; the store's mapping face keeps every historical
+``values[gid]`` consumer working.  :func:`resimulate_cone` keeps a
+dict-based fallback for base values whose gate-ID set no longer covers
+the circuit (gates added/removed since the base simulation) — results
+are bit-identical on every path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set
+from typing import Dict, Iterable, Mapping, Optional, Set
 
 import numpy as np
 
 from ..cells import FUNCTIONS, split_cell_name
 from ..netlist import CONST0, CONST1, PI_CELL, PO_CELL, Circuit, is_const
+from .store import ValueStore, value_rows, value_store_index
 from .vectors import VectorSet
 
-#: Map from gate id to its packed output words.
-ValueMap = Dict[int, np.ndarray]
+#: Map from gate id to its packed output words — either a plain dict or
+#: the dense :class:`ValueStore` (a read-only Mapping with the same face).
+ValueMap = Mapping[int, np.ndarray]
 
 
 def _const_rows(num_words: int) -> Dict[int, np.ndarray]:
@@ -27,21 +37,26 @@ def _const_rows(num_words: int) -> Dict[int, np.ndarray]:
     }
 
 
-def simulate(circuit: Circuit, vectors: VectorSet) -> ValueMap:
-    """Simulate all gates; returns packed output words per gate ID.
+def simulate(circuit: Circuit, vectors: VectorSet) -> ValueStore:
+    """Simulate all gates; returns the packed value store.
 
     PIs take rows of ``vectors`` in ``circuit.pi_ids`` order; POs mirror
-    their single fan-in.  Constants are materialised under their reserved
-    IDs so downstream code can treat them uniformly.
+    their single fan-in.  Constants live in the store's two sentinel
+    rows so downstream code can treat them uniformly
+    (``values[CONST0]`` / ``values[CONST1]`` keep working).
     """
     if vectors.num_inputs != len(circuit.pi_ids):
         raise ValueError(
             f"vector set has {vectors.num_inputs} inputs, circuit has "
             f"{len(circuit.pi_ids)} PIs"
         )
-    values: ValueMap = _const_rows(vectors.num_words)
-    for row, pi in enumerate(circuit.pi_ids):
-        values[pi] = vectors.words[row]
+    store = ValueStore.allocate(
+        value_store_index(circuit), vectors.num_words
+    )
+    matrix = store.matrix
+    rows = value_rows(store.index)
+    for i, pi in enumerate(circuit.pi_ids):
+        matrix[rows[pi]] = vectors.words[i]
     # Local bindings: this loop visits every gate of every evaluated
     # candidate, so attribute/property lookups are hoisted out.
     fanins = circuit.fanins
@@ -52,13 +67,13 @@ def simulate(circuit: Circuit, vectors: VectorSet) -> ValueMap:
             continue
         fis = fanins[gid]
         if cell == PO_CELL:
-            values[gid] = values[fis[0]]
+            matrix[rows[gid]] = matrix[rows[fis[0]]]
             continue
         function, _ = split_cell_name(cell)
-        values[gid] = FUNCTIONS[function].word_eval(
-            [values[fi] for fi in fis]
+        matrix[rows[gid]] = FUNCTIONS[function].word_eval(
+            [matrix[rows[fi]] for fi in fis]
         )
-    return values
+    return store
 
 
 def resimulate_cone(
@@ -66,6 +81,7 @@ def resimulate_cone(
     vectors: VectorSet,
     base_values: ValueMap,
     changed: Iterable[int],
+    dirty: Optional[Set[int]] = None,
 ) -> ValueMap:
     """Incrementally re-evaluate only the TFO of ``changed`` gates.
 
@@ -74,18 +90,58 @@ def resimulate_cone(
     incremental trick VECBEE uses to make batch LAC evaluation cheap: an
     approximate change only perturbs its transitive fan-out.
 
-    Returns a fresh :class:`ValueMap`; ``base_values`` is not mutated.
+    Returns a fresh value mapping; ``base_values`` is not mutated.  When
+    the base is a :class:`ValueStore` covering this circuit's gate-ID
+    set (every copy-then-mutate child qualifies), the result is a store
+    sharing the parent's row index — one matrix ``memcpy`` plus the
+    dirty rows, no per-gate dict traffic — and on gid-topological
+    circuits (every population member) the dirty rows evaluate in
+    sorted-gid order, skipping the per-child topological-order build.
+    Otherwise (gates added or removed since the base simulation) the
+    historical dict walk runs; all paths produce bit-identical rows.
+
+    ``dirty`` optionally supplies the precomputed TFO of ``changed``
+    (callers holding the parent's memoized cones pass it; see
+    :func:`repro.core.fitness.evaluate_incremental`).
     """
-    dirty: Set[int] = set()
-    for gid in changed:
-        if not is_const(gid):
-            dirty |= circuit.transitive_fanout(gid, include_self=True)
-    values: ValueMap = dict(base_values)
+    if dirty is None:
+        dirty = set()
+        for gid in changed:
+            if not is_const(gid):
+                dirty |= circuit.transitive_fanout(gid, include_self=True)
+    fanins = circuit.fanins
+    cells = circuit.cells
+    if isinstance(base_values, ValueStore) and base_values.covers(circuit):
+        index = base_values.index
+        matrix = base_values.fork_matrix()
+        rows = value_rows(index)
+        matrix[index.n] = 0
+        matrix[index.n + 1] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        for i, pi in enumerate(circuit.pi_ids):
+            matrix[rows[pi]] = vectors.words[i]
+        if circuit.gid_order_topo():
+            schedule = sorted(dirty)
+        else:
+            schedule = [
+                gid for gid in circuit.topological_order() if gid in dirty
+            ]
+        for gid in schedule:
+            cell = cells[gid]
+            if cell == PI_CELL:
+                continue
+            fis = fanins[gid]
+            if cell == PO_CELL:
+                matrix[rows[gid]] = matrix[rows[fis[0]]]
+                continue
+            function, _ = split_cell_name(cell)
+            matrix[rows[gid]] = FUNCTIONS[function].word_eval(
+                [matrix[rows[fi]] for fi in fis]
+            )
+        return ValueStore(index, matrix)
+    values: Dict[int, np.ndarray] = dict(base_values)
     values.update(_const_rows(vectors.num_words))
     for row, pi in enumerate(circuit.pi_ids):
         values[pi] = vectors.words[row]
-    fanins = circuit.fanins
-    cells = circuit.cells
     for gid in circuit.topological_order():
         if gid not in dirty:
             continue
@@ -105,6 +161,9 @@ def resimulate_cone(
 
 def po_words(circuit: Circuit, values: ValueMap) -> np.ndarray:
     """Stack PO rows into an ``(num_pos, num_words)`` array, PO order."""
+    if isinstance(values, ValueStore):
+        row = values.index.row
+        return values.matrix[[row[po] for po in circuit.po_ids]]
     return np.stack([values[po] for po in circuit.po_ids])
 
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..netlist import CONST0, CONST1, PO_CELL, Circuit
 from .bitsim import ValueMap
+from .store import ValueStore
 from .vectors import count_ones, popcount_rows, tail_masked
 
 
@@ -62,7 +63,13 @@ def rank_switches(
     ]
     scored: List[Tuple[int, float]] = []
     if kept:
-        stacked = np.stack([values[c] for c in kept])
+        if isinstance(values, ValueStore):
+            # Dense store: one fancy-index gather instead of stacking
+            # per-candidate row views (same rows, same bits).
+            row = values.index.row
+            stacked = values.matrix[[row[c] for c in kept]]
+        else:
+            stacked = np.stack([values[c] for c in kept])
         diff = stacked ^ values[target][np.newaxis, :]
         counts = popcount_rows(tail_masked(diff, num_vectors))
         sims = 1.0 - counts / float(num_vectors)

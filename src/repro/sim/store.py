@@ -1,0 +1,155 @@
+"""Structure-of-arrays value store shared by all simulation paths.
+
+Simulated gate values used to live in a ``{gid: uint64 row}`` dict per
+evaluation — copied per candidate, pickled row by row across shard
+pipes, and read through a Python dict lookup per gate visit.  This
+module is the dense replacement, the exact analogue of the PR-4 timing
+store (:mod:`repro.sta.store`):
+
+* :class:`ValueStore` — one ``(rows, num_words)`` uint64 matrix holding
+  every gate's packed output words, laid out by the **same** dense
+  sorted-gid row numbering as the timing arrays
+  (:func:`repro.sta.store.timing_index`, memoized per circuit structure
+  version), so a LAC child shares its parent's index and pays no
+  per-child row-map build.  Two extra sentinel rows hold the constants:
+  row ``n`` is CONST0 (all zeros), row ``n + 1`` is CONST1 (all ones).
+* a dict-compatible read-only :class:`~collections.abc.Mapping` face —
+  ``values[gid]``, ``gid in values``, ``iter(values)`` — so every
+  historical ``ValueMap`` consumer (similarity ranking, switching
+  power, simplification scoring) keeps working unchanged.
+* :func:`value_rows` — the gid → row map *including* the constant
+  sentinel rows, cached on the index so hot walks resolve constant
+  fan-ins without a branch per pin.
+
+Layout contract: matrices have ``index.n + 2`` rows; row
+``index.row[gid]`` holds gate ``gid``, row ``n`` holds CONST0 and row
+``n + 1`` holds CONST1.  A store is **read-only once published** (it is
+shared parent → child by the incremental and batched evaluation paths);
+writers copy the matrix first (:meth:`ValueStore.fork_matrix`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..netlist import CONST0, CONST1
+from ..sta.store import TimingIndex, timing_index
+
+__all__ = ["ValueStore", "value_rows", "value_store_index"]
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def value_store_index(circuit) -> TimingIndex:
+    """The dense row index value matrices are laid out by.
+
+    This *is* the circuit's :func:`~repro.sta.store.timing_index`
+    (memoized per structure version): values and timing agree on row
+    numbering, so consumers correlating the two never translate IDs.
+    """
+    return timing_index(circuit)
+
+
+def value_rows(index: TimingIndex) -> Dict[int, int]:
+    """``gid -> row`` map extended with the two constant sentinel rows.
+
+    Cached on the index object (indices are shared parent → child and
+    memoized per structure version, so the O(V) dict build is paid once
+    per structure, not once per evaluation).
+    """
+    rows = index.vrow
+    if rows is None:
+        rows = dict(index.row)
+        rows[CONST0] = index.n
+        rows[CONST1] = index.n + 1
+        index.vrow = rows
+    return rows
+
+
+def _rebuild_store(gids, po_rows, matrix):
+    """Unpickling hook: rebuild the row dict from the sorted gid array."""
+    row = {int(g): i for i, g in enumerate(gids)}
+    return ValueStore(TimingIndex(gids, row, po_rows), matrix)
+
+
+class ValueStore(Mapping):
+    """Packed simulation values of one circuit as a dense uint64 matrix.
+
+    Attributes:
+        index: the dense gid → row index (shared with the timing store).
+        matrix: ``(index.n + 2, num_words)`` uint64; the last two rows
+            are the CONST0 / CONST1 sentinels.
+
+    The mapping face is read-only and covers every gate row plus the
+    two constants, mirroring what :func:`repro.sim.simulate` used to
+    return as a dict.  ``values[gid]`` returns a row *view* — treat it
+    as immutable, exactly like the rows of the historical dict.
+    """
+
+    __slots__ = ("index", "matrix")
+
+    def __init__(self, index: TimingIndex, matrix: np.ndarray):
+        self.index = index
+        self.matrix = matrix
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def allocate(cls, index: TimingIndex, num_words: int) -> "ValueStore":
+        """A fresh store with only the constant sentinel rows filled."""
+        matrix = np.empty((index.n + 2, num_words), dtype=np.uint64)
+        matrix[index.n] = 0
+        matrix[index.n + 1] = _ALL_ONES
+        return cls(index, matrix)
+
+    def fork_matrix(self) -> np.ndarray:
+        """A writable copy of the matrix (stores are read-only once
+        published; every derived evaluation writes into its own copy)."""
+        return self.matrix.copy()
+
+    def covers(self, circuit) -> bool:
+        """True when this store has exactly one row per gate of
+        ``circuit`` (the precondition for sharing the index with a
+        copy-then-mutate child)."""
+        return self.index.row.keys() == circuit.fanins.keys()
+
+    # ------------------------------------------------------------------
+    # mapping face (the historical ValueMap API)
+    # ------------------------------------------------------------------
+    def __getitem__(self, gid: int) -> np.ndarray:
+        if gid >= 0:
+            return self.matrix[self.index.row[gid]]
+        if gid == CONST0:
+            return self.matrix[self.index.n]
+        if gid == CONST1:
+            return self.matrix[self.index.n + 1]
+        raise KeyError(gid)
+
+    def __iter__(self) -> Iterator[int]:
+        yield CONST0
+        yield CONST1
+        yield from self.index.row
+
+    def __len__(self) -> int:
+        return self.index.n + 2
+
+    def __contains__(self, gid) -> bool:
+        return gid in self.index.row or gid == CONST0 or gid == CONST1
+
+    def __reduce__(self):
+        # The row dict is a pure function of the sorted gid array;
+        # shipping the arrays alone keeps checkpoints/pipes lean.
+        return (
+            _rebuild_store,
+            (self.index.gids, self.index.po_rows, self.matrix),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ValueStore(rows={self.matrix.shape[0]}, "
+            f"num_words={self.matrix.shape[1]})"
+        )

@@ -34,10 +34,100 @@ from ..netlist import Circuit, PI_CELL, PO_CELL
 from .analyzer import STAEngine, TimingReport
 from .store import (
     TimingIndex,
+    TimingLevels,
     eval_gate_scalar,
     timing_index,
     timing_levels,
 )
+
+
+class _PatchedFanouts:
+    """The parent's memoized fan-out map with per-driver overrides.
+
+    A copy-then-mutate child's fan-out lists differ from its parent's
+    only for drivers touched by the changed gates' fan-in rewrites;
+    rebuilding the whole O(V+E) map per child was the last per-child
+    schedule build in the incremental hot path.  Only ``get`` is
+    exposed — exactly what the load rederivation and the frontier walk
+    consume.
+    """
+
+    __slots__ = ("base", "overrides")
+
+    def __init__(self, base, overrides):
+        self.base = base
+        self.overrides = overrides
+
+    def get(self, key, default=()):
+        hit = self.overrides.get(key)
+        if hit is not None:
+            return hit
+        return self.base.get(key, default)
+
+
+def _shared_fanouts(
+    circuit: Circuit,
+    previous: TimingReport,
+    changed: Iterable[int],
+    same_rows: bool,
+):
+    """The child's fan-out map, patched from the parent's where possible.
+
+    Requires the same preconditions as every other parent-structure
+    reuse in this walk: the parent object is distinct, unmutated since
+    its report, and shares the gate-ID set.  Consumer lists are
+    reconstructed in the child's fan-in dict order (copies preserve the
+    parent's insertion order, and a stable sort on the parent's
+    position map restores it after membership edits), so the float
+    accumulation order in the load rederivation — and therefore every
+    load bit — matches a from-scratch :meth:`Circuit.fanouts` build.
+    """
+    parent = previous.circuit
+    if (
+        parent is circuit
+        or not same_rows
+        or parent.version != previous.circuit_version
+    ):
+        return circuit.fanouts()
+    cached = circuit._cached("fanouts")
+    if cached is not None:
+        return cached
+    parent_fo = parent.fanouts()
+    parent_fanins = parent.fanins
+    child_fanins = circuit.fanins
+    changed_set = set()
+    affected = set()
+    for g in changed:
+        if g < 0:
+            continue
+        changed_set.add(g)
+        pf = parent_fanins.get(g, ())
+        cf = child_fanins.get(g, ())
+        if pf != cf:
+            affected.update(pf)
+            affected.update(cf)
+    if not affected:
+        return parent_fo
+    pos = parent._cached("fanins_pos")
+    if pos is None:
+        pos = parent._store(
+            "fanins_pos", {g: i for i, g in enumerate(parent_fanins)}
+        )
+    overrides = {}
+    for d in affected:
+        if d < 0:
+            continue  # constant sources carry no load row
+        base = parent_fo.get(d, ())
+        # Multiplicity matters: a driver feeding two pins of one gate
+        # appears twice in the consumer list (two pin loads).
+        cons = [c for c in base if c not in changed_set]
+        for g in changed_set:
+            occ = child_fanins[g].count(d)
+            if occ:
+                cons.extend([g] * occ)
+        cons.sort(key=pos.__getitem__)
+        overrides[d] = cons
+    return _PatchedFanouts(parent_fo, overrides)
 
 
 def _incremental_loads(
@@ -47,6 +137,7 @@ def _incremental_loads(
     changed: Iterable[int],
     index: TimingIndex,
     same_rows: bool,
+    fanouts,
 ) -> np.ndarray:
     """Load array of ``circuit``, rederiving only perturbed drivers.
 
@@ -75,7 +166,6 @@ def _incremental_loads(
         drivers.update(parent_fanins.get(g, ()))
         drivers.update(child_fanins.get(g, ()))
     loads = previous.load_a.copy()
-    fanouts = circuit.fanouts()
     cells = circuit.cells
     lib_cell = engine.library.cell
     wire = engine.wire_cap_per_fanout
@@ -138,8 +228,9 @@ def update_timing(
             index = timing_index(circuit)
     n = index.n
     same_rows = index is pindex or np.array_equal(index.gids, pindex.gids)
+    fanouts = _shared_fanouts(circuit, previous, changed, same_rows)
     loads = _incremental_loads(
-        engine, circuit, previous, changed, index, same_rows
+        engine, circuit, previous, changed, index, same_rows, fanouts
     )
 
     arr = np.empty(n + 1, dtype=np.float64)
@@ -212,48 +303,63 @@ def update_timing(
             circuit, index, arr, slew, loads, depth, cf, circuit.version
         )
 
-    # Scheduling: process dirty rows level by level.  The parent's
-    # memoized level assignment is reused whenever it is still a valid
-    # stratification of the child — the gate-ID set is unchanged and
-    # every *rewired* fan-in sits at a strictly lower parent level
-    # (unchanged gates inherit validity from the parent's own edges).
-    # LACs always qualify: switches come from the target's TFI.
+    # Scheduling: process dirty rows level by level.  Priority: the
+    # parent's *already-memoized* level assignment when it is still a
+    # valid stratification of the child (the gate-ID set is unchanged
+    # and every *rewired* fan-in sits at a strictly lower parent level
+    # — LACs always qualify: switches come from the target's TFI);
+    # otherwise, on a gid-topological circuit (every population
+    # member), one-row-per-level over the sorted-gid rows — a valid
+    # stratification with no O(V+E) build at all; only then a freshly
+    # built schedule.  The walk's results are schedule-independent:
+    # every gate is evaluated after its fan-ins either way.
     levels = None
-    if (
+    parent_reusable = (
         same_rows
         and parent is not circuit
         and parent.version == previous.circuit_version
-    ):
-        plevels = timing_levels(parent)
-        level_of = plevels.level_of
-        ok = True
-        for g in changed:
-            if g < 0:
-                continue
-            rg = row_of.get(g)
-            if rg is None:
-                continue
-            lg = level_of[rg]
-            for fi in circuit.fanins[g]:
-                if fi < 0:
+    )
+    if parent_reusable:
+        plevels = parent._cached("timing_levels")
+        if plevels is None and not circuit.gid_order_topo():
+            plevels = timing_levels(parent)
+        if plevels is not None:
+            level_of = plevels.level_of
+            ok = True
+            for g in changed:
+                if g < 0:
                     continue
-                rfi = row_of.get(fi)
-                if rfi is None or level_of[rfi] >= lg:
-                    ok = False
+                rg = row_of.get(g)
+                if rg is None:
+                    continue
+                lg = level_of[rg]
+                for fi in circuit.fanins[g]:
+                    if fi < 0:
+                        continue
+                    rfi = row_of.get(fi)
+                    if rfi is None or level_of[rfi] >= lg:
+                        ok = False
+                        break
+                if not ok:
                     break
-            if not ok:
-                break
-        if ok:
-            levels = plevels
+            if ok:
+                levels = plevels
     if levels is None:
-        levels = timing_levels(circuit)
+        if circuit.gid_order_topo():
+            # Kept local: the canonical timing_levels contract (level =
+            # one past the deepest fan-in) still governs the memoized
+            # schedule the full analyzer plans over.
+            levels = TimingLevels(index, np.arange(n, dtype=np.int32), n)
+        else:
+            levels = timing_levels(circuit)
 
     level_of = levels.level_of
     buckets: List[List[int]] = [[] for _ in range(levels.num_levels)]
     for r in seeds:
         buckets[level_of[r]].append(r)
 
-    fanouts = circuit.fanouts()
+    # ``fanouts`` from above: the parent's map patched around the
+    # changed gates (or the child's own when no parent is reusable).
     gids = index.gids
     fanins_map = circuit.fanins
     cells_map = circuit.cells

@@ -15,15 +15,17 @@ drives.  Leakage is modelled per-cell as proportional to area.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
 from ..cells import Library
 from ..netlist import Circuit
-from ..sim.bitsim import ValueMap
 from ..sim.vectors import VectorSet, count_ones
 from .analyzer import STAEngine
+
+if TYPE_CHECKING:  # type-only: sim.store depends on sta at runtime,
+    from ..sim.bitsim import ValueMap  # so sta must not import sim back
 
 #: Default supply and clock for the 28 nm-class operating point.
 DEFAULT_VDD = 0.9  # volts

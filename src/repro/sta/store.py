@@ -54,16 +54,21 @@ class TimingIndex:
         row: ``gid -> row`` lookup dict.
         po_rows: rows of the circuit's POs, in ``po_ids`` order.
         n: number of real rows (timing arrays carry ``n + 1`` — the
-            extra row is the constant-source sentinel).
+            extra row is the constant-source sentinel; value matrices
+            carry ``n + 2``, one sentinel row per constant).
+        vrow: lazily-built ``gid -> row`` map extended with the two
+            constant value rows (see :func:`repro.sim.store.value_rows`;
+            cached here because indices are shared parent → child).
     """
 
-    __slots__ = ("gids", "row", "po_rows", "n")
+    __slots__ = ("gids", "row", "po_rows", "n", "vrow")
 
     def __init__(self, gids: np.ndarray, row: Dict[int, int], po_rows: np.ndarray):
         self.gids = gids
         self.row = row
         self.po_rows = po_rows
         self.n = int(len(gids))
+        self.vrow: Optional[Dict[int, int]] = None
 
 
 def timing_index(circuit: Circuit) -> TimingIndex:

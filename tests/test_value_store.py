@@ -1,0 +1,434 @@
+"""The PR-5 SoA value store: kernels, store semantics, stacked batching.
+
+Pins the layer this PR adds under the evaluation hot path:
+
+* ``word_eval_many`` is bit-identical to row-by-row ``word_eval`` for
+  **every** registered cell function (the ``lookup_many`` analogue);
+* :class:`repro.sim.ValueStore` keeps the historical dict ``ValueMap``
+  face (getitem / iter / contains / constants) and simulate's rows are
+  bit-identical to a verbatim port of the dict-based walk;
+* ``resimulate_cone`` takes the matrix path for covering stores and the
+  dict fallback for diverged gate-ID sets, both matching ``simulate``;
+* the stacked multi-child batch walk equals ``evaluate_incremental``
+  per item across tie-heavy LAC generations, crossover generations,
+  structure-diverged fallbacks, and ``jobs=2`` shard runs;
+* ``evaluate_batch`` singles dedup shares one evaluation per full
+  structure key;
+* the reproduction PO-cone masks agree with ``transitive_fanin``;
+* the NMED matmul agrees with the historical per-PO accumulation loop.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from reference_circuits import build_adder, build_fig3_circuit
+
+from repro.cells import FUNCTIONS, default_library, split_cell_name
+from repro.core import (
+    EvalContext,
+    LAC,
+    applied_copy,
+    circuit_reproduce,
+    evaluate,
+    evaluate_batch,
+    evaluate_incremental,
+    is_safe,
+)
+from repro.core.parallel import (
+    _pack_eval,
+    _unpack_eval,
+    close_dispatcher,
+    get_dispatcher,
+)
+from repro.core.reproduction import po_cones
+from repro.netlist import CONST0, CONST1, PI_CELL, PO_CELL, remove_dangling
+from repro.sim import (
+    ErrorMode,
+    ValueStore,
+    best_switch,
+    mean_error_distance,
+    nmed,
+    po_words,
+    random_vectors,
+    resimulate_cone,
+    simulate,
+)
+from repro.sim.error import _unpack_matrix
+from repro.sim.store import value_rows
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library()
+
+
+def _ctx(circuit, library, seed=4, num_vectors=256):
+    return EvalContext.build(
+        circuit, library, ErrorMode.NMED, num_vectors=num_vectors, seed=seed
+    )
+
+
+def _legacy_simulate(circuit, vectors):
+    """Verbatim port of the pre-store dict-based simulation walk."""
+    values = {
+        CONST0: np.zeros(vectors.num_words, dtype=np.uint64),
+        CONST1: np.full(
+            vectors.num_words, 0xFFFFFFFFFFFFFFFF, dtype=np.uint64
+        ),
+    }
+    for row, pi in enumerate(circuit.pi_ids):
+        values[pi] = vectors.words[row]
+    for gid in circuit.topological_order():
+        cell = circuit.cells[gid]
+        if cell == PI_CELL:
+            continue
+        fis = circuit.fanins[gid]
+        if cell == PO_CELL:
+            values[gid] = values[fis[0]]
+            continue
+        function, _ = split_cell_name(cell)
+        values[gid] = FUNCTIONS[function].word_eval(
+            [values[fi] for fi in fis]
+        )
+    return values
+
+
+def _lac_children(ctx, count, seed=3, allow_duplicates=False):
+    """``count`` single-LAC children of the reference circuit."""
+    rng = random.Random(seed)
+    parent = ctx.reference_eval()
+    circuit = ctx.reference
+    children, seen = [], set()
+    logic = circuit.logic_ids()
+    attempts = 0
+    while len(children) < count and attempts < 50 * count:
+        attempts += 1
+        target = logic[rng.randrange(len(logic))]
+        found = best_switch(
+            circuit, parent.values, target, ctx.vectors.num_vectors
+        )
+        if found is None:
+            continue
+        lac = LAC(target=target, switch=found[0])
+        if not is_safe(circuit, lac):
+            continue
+        child = applied_copy(circuit, lac)
+        key = child.structure_key()
+        if not allow_duplicates and key in seen:
+            continue
+        seen.add(key)
+        children.append(child)
+    assert len(children) == count
+    return children
+
+
+def _assert_same_eval(a, b):
+    assert a.fitness == b.fitness
+    assert a.fd == b.fd
+    assert a.fa == b.fa
+    assert a.depth == b.depth
+    assert a.area == b.area
+    assert a.error == b.error
+    assert a.per_po_error == b.per_po_error
+    assert a.report.cpd == b.report.cpd
+    for gid in a.circuit.gate_ids():
+        assert a.report.arrival[gid] == b.report.arrival[gid], gid
+        assert a.report.slew[gid] == b.report.slew[gid], gid
+        assert a.report.unit_depth[gid] == b.report.unit_depth[gid], gid
+        assert (a.values[gid] == b.values[gid]).all(), gid
+
+
+# ----------------------------------------------------------------------
+# batched word kernels
+# ----------------------------------------------------------------------
+class TestWordEvalMany:
+    @pytest.mark.parametrize("name", sorted(FUNCTIONS))
+    @pytest.mark.parametrize("batch", [1, 2, 7])
+    def test_matches_word_eval_row_by_row(self, name, batch):
+        fn = FUNCTIONS[name]
+        rng = np.random.default_rng(hash(name) % 2**32)
+        num_words = 3
+        inputs = [
+            rng.integers(0, 2**64, size=(batch, num_words), dtype=np.uint64)
+            for _ in range(fn.arity)
+        ]
+        stacked = fn.word_eval_many(inputs)
+        assert stacked.shape == (batch, num_words)
+        for b in range(batch):
+            row = fn.word_eval([inp[b] for inp in inputs])
+            assert np.array_equal(stacked[b], row), (name, b)
+
+    def test_every_function_has_a_batched_kernel(self):
+        for fn in FUNCTIONS.values():
+            assert callable(fn.word_eval_many)
+
+
+# ----------------------------------------------------------------------
+# the store itself
+# ----------------------------------------------------------------------
+class TestValueStore:
+    def test_simulate_matches_legacy_dict_walk(self, library):
+        circuit = build_adder(6)
+        vectors = random_vectors(len(circuit.pi_ids), 200, seed=9)
+        store = simulate(circuit, vectors)
+        legacy = _legacy_simulate(circuit, vectors)
+        assert isinstance(store, ValueStore)
+        for gid in legacy:
+            assert np.array_equal(store[gid], legacy[gid]), gid
+
+    def test_mapping_face(self):
+        circuit = build_fig3_circuit()
+        vectors = random_vectors(len(circuit.pi_ids), 64, seed=0)
+        store = simulate(circuit, vectors)
+        assert set(circuit.fanins) | {CONST0, CONST1} == set(store)
+        assert len(store) == len(circuit.fanins) + 2
+        assert CONST0 in store and CONST1 in store
+        assert int(store[CONST0][0]) == 0
+        assert int(store[CONST1][0]) == 0xFFFFFFFFFFFFFFFF
+        with pytest.raises(KeyError):
+            store[99999]
+        # dict() materialization keeps working for legacy consumers.
+        as_dict = dict(store)
+        assert np.array_equal(as_dict[circuit.po_ids[0]], store[circuit.po_ids[0]])
+
+    def test_rows_shared_with_timing_index(self, library):
+        from repro.sta.store import timing_index
+
+        circuit = build_adder(4)
+        vectors = random_vectors(len(circuit.pi_ids), 64, seed=1)
+        store = simulate(circuit, vectors)
+        assert store.index is timing_index(circuit)
+        rows = value_rows(store.index)
+        assert rows[CONST0] == store.index.n
+        assert rows[CONST1] == store.index.n + 1
+
+    def test_pickle_round_trip(self, library):
+        circuit = build_adder(4)
+        vectors = random_vectors(len(circuit.pi_ids), 100, seed=2)
+        store = simulate(circuit, vectors)
+        clone = pickle.loads(pickle.dumps(store))
+        assert isinstance(clone, ValueStore)
+        assert np.array_equal(clone.matrix, store.matrix)
+        for gid in circuit.fanins:
+            assert np.array_equal(clone[gid], store[gid])
+
+    def test_po_words_matches_stacking(self, library):
+        circuit = build_adder(5)
+        vectors = random_vectors(len(circuit.pi_ids), 120, seed=3)
+        store = simulate(circuit, vectors)
+        direct = po_words(circuit, store)
+        stacked = np.stack([store[po] for po in circuit.po_ids])
+        assert np.array_equal(direct, stacked)
+
+    def test_resimulate_cone_store_path(self, library):
+        circuit = build_adder(6)
+        vectors = random_vectors(len(circuit.pi_ids), 256, seed=4)
+        base = simulate(circuit, vectors)
+        child = circuit.copy()
+        changed = child.substitute(child.logic_ids()[4], CONST1)
+        fast = resimulate_cone(child, vectors, base, changed)
+        assert isinstance(fast, ValueStore)
+        assert fast.matrix is not base.matrix  # read-only once published
+        full = simulate(child, vectors)
+        for gid in child.fanins:
+            assert np.array_equal(fast[gid], full[gid]), gid
+
+    def test_resimulate_cone_diverged_falls_back_to_dict(self, library):
+        circuit = build_adder(6)
+        vectors = random_vectors(len(circuit.pi_ids), 256, seed=5)
+        base = simulate(circuit, vectors)
+        child = circuit.copy()
+        changed = child.substitute(child.logic_ids()[4], CONST0)
+        remove_dangling(child)  # gate-ID set now differs from the base
+        assert not base.covers(child)
+        fast = resimulate_cone(child, vectors, base, changed)
+        assert not isinstance(fast, ValueStore)
+        full = simulate(child, vectors)
+        for gid in child.fanins:
+            assert np.array_equal(fast[gid], full[gid]), gid
+
+
+# ----------------------------------------------------------------------
+# stacked multi-child batching
+# ----------------------------------------------------------------------
+class TestStackedBatch:
+    def test_tie_heavy_lac_generation_matches_incremental(self, library):
+        """Many children on one parent, duplicates included: the stacked
+        walk must equal the sequential incremental path bit for bit."""
+        ctx = _ctx(build_adder(8), library)
+        parent = ctx.reference_eval()
+        children = _lac_children(ctx, 12, seed=21, allow_duplicates=True)
+        clones = [c.copy() for c in children]  # copies carry provenance
+        got = evaluate_batch(ctx, [(c, (parent,)) for c in children])
+        want = [evaluate_incremental(ctx, c, parent) for c in clones]
+        for g, w in zip(got, want):
+            assert isinstance(g.values, ValueStore)
+            _assert_same_eval(g, w)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_crossover_generation_matches_incremental(self, library, seed):
+        ctx = _ctx(build_adder(8), library, seed=seed)
+        parent = ctx.reference_eval()
+        base = _lac_children(ctx, 6, seed=seed + 30)
+        evals = evaluate_batch(ctx, [(c, (parent,)) for c in base])
+        rng = random.Random(seed)
+        items = []
+        for _ in range(6):
+            a, b = rng.sample(evals, 2)
+            child = circuit_reproduce(a, b, ctx)
+            items.append((child, (a, b)))
+        clones = [(c.copy(), p) for c, p in items]
+        got = evaluate_batch(ctx, items)
+        want = [evaluate_incremental(ctx, c, p) for c, p in clones]
+        for g, w in zip(got, want):
+            _assert_same_eval(g, w)
+
+    def test_structure_diverged_child_falls_back(self, library):
+        """A child with a changed gate-ID set rides the sequential path
+        inside the batch — results still equal its own incremental."""
+        ctx = _ctx(build_adder(8), library)
+        parent = ctx.reference_eval()
+        ok_children = _lac_children(ctx, 3, seed=8)
+        diverged = applied_copy(ctx.reference, LAC(
+            ctx.reference.logic_ids()[-1], CONST0
+        ))
+        remove_dangling(diverged)
+        items = [(c, (parent,)) for c in ok_children]
+        items.append((diverged, (parent,)))
+        clones = [(c.copy(), p) for c, p in items]
+        got = evaluate_batch(ctx, items)
+        want = [evaluate_incremental(ctx, c, p) for c, p in clones]
+        for g, w in zip(got, want):
+            _assert_same_eval(g, w)
+
+    def test_jobs2_shard_run_matches_serial(self, library):
+        ctx_serial = _ctx(build_adder(8), library)
+        ctx_par = _ctx(build_adder(8), library)
+        children = _lac_children(ctx_serial, 8, seed=13)
+        par_children = _lac_children(ctx_par, 8, seed=13)
+        parent_s = ctx_serial.reference_eval()
+        parent_p = ctx_par.reference_eval()
+        serial = evaluate_batch(
+            ctx_serial, [(c, (parent_s,)) for c in children]
+        )
+        dispatcher = get_dispatcher(ctx_par, 2)
+        try:
+            parallel = dispatcher.evaluate_items(
+                [(c, (parent_p,)) for c in par_children]
+            )
+        finally:
+            close_dispatcher(ctx_par)
+        for s, p in zip(serial, parallel):
+            _assert_same_eval(s, p)
+
+    def test_pack_eval_ships_dense_matrix(self, library):
+        ctx = _ctx(build_adder(6), library)
+        parent = ctx.reference_eval()
+        child = _lac_children(ctx, 1, seed=17)[0]
+        ev = evaluate_incremental(ctx, child, parent)
+        assert isinstance(ev.values, ValueStore)
+        packed = _pack_eval(ev)
+        assert packed[2] is None  # no per-gate key array on the wire
+        clone = _unpack_eval(pickle.loads(pickle.dumps(packed)))
+        _assert_same_eval(ev, clone)
+
+    def test_singles_dedup_shares_one_evaluation(self, library):
+        ctx = _ctx(build_adder(6), library)
+        a = ctx.reference.copy()
+        b = ctx.reference.copy()
+        c = ctx.reference.copy()
+        mutated = ctx.reference.copy()
+        mutated.substitute(mutated.logic_ids()[0], CONST0)
+        for circ in (a, b, c, mutated):
+            circ.provenance = None  # force the singles path
+        got = evaluate_batch(ctx, [(a, None), (b, None), (mutated, None), (c, None)])
+        # Duplicates share the evaluated twin's report/values (one full
+        # evaluation per key) but keep their own circuit at their index.
+        assert got[1].values is got[0].values
+        assert got[1].report is got[0].report
+        assert got[3].values is got[0].values
+        assert got[2].values is not got[0].values
+        assert got[0].circuit is a
+        assert got[1].circuit is b
+        assert got[2].circuit is mutated
+        assert got[3].circuit is c
+        solo = evaluate(ctx, ctx.reference.copy())
+        _assert_same_eval(got[0], solo)
+        _assert_same_eval(got[1], solo)
+
+
+# ----------------------------------------------------------------------
+# reproduction cone masks
+# ----------------------------------------------------------------------
+class TestPOCones:
+    def test_masks_match_transitive_fanin(self, library):
+        circuit = build_adder(8)
+        cones = po_cones(circuit)
+        for po in circuit.po_ids:
+            assert cones.cone(po) == circuit.transitive_fanin(
+                po, include_self=True
+            )
+
+    def test_masks_memoized_per_version(self, library):
+        circuit = build_adder(4)
+        first = po_cones(circuit)
+        assert po_cones(circuit) is first
+        circuit.substitute(circuit.logic_ids()[0], CONST0)
+        assert po_cones(circuit) is not first
+
+    def test_reproduce_children_still_bit_identical(self, library):
+        """The mask-driven cone writes must not change any child."""
+        ctx = _ctx(build_adder(8), library, seed=6)
+        parent = ctx.reference_eval()
+        base = _lac_children(ctx, 4, seed=40)
+        evals = [evaluate_incremental(ctx, c, parent) for c in base]
+        child = circuit_reproduce(evals[0], evals[1], ctx)
+        # Every gate comes verbatim from one of the two parents.
+        pa, pb = evals[0].circuit, evals[1].circuit
+        for gid, fis in child.fanins.items():
+            assert fis in (pa.fanins[gid], pb.fanins[gid])
+        prov = child.valid_provenance()
+        assert prov is not None
+        inc = evaluate_incremental(ctx, child, (evals[0], evals[1]))
+        full = evaluate(ctx, child.copy())
+        _assert_same_eval(inc, full)
+
+
+# ----------------------------------------------------------------------
+# NMED matmul
+# ----------------------------------------------------------------------
+class TestNmedMatmul:
+    def _reference_loop(self, ref, app, num_vectors, denom):
+        rbits = _unpack_matrix(ref, num_vectors)
+        abits = _unpack_matrix(app, num_vectors)
+        acc = np.zeros(num_vectors, dtype=np.float64)
+        for i in range(ref.shape[0]):
+            acc += (
+                rbits[i].astype(np.float64) - abits[i].astype(np.float64)
+            ) * (float(2**i) / denom)
+        return float(np.abs(acc).mean())
+
+    def test_matches_per_po_loop(self, library):
+        rng = np.random.default_rng(7)
+        for num_pos, num_vectors in ((5, 64), (9, 200), (16, 130)):
+            words = (num_vectors + 63) // 64
+            ref = rng.integers(0, 2**64, size=(num_pos, words), dtype=np.uint64)
+            app = rng.integers(0, 2**64, size=(num_pos, words), dtype=np.uint64)
+            denom = float(2**num_pos - 1)
+            got = nmed(ref, app, num_vectors)
+            want = self._reference_loop(ref, app, num_vectors, denom)
+            assert got == pytest.approx(want, abs=1e-12)
+            got_med = mean_error_distance(ref, app, num_vectors)
+            want_med = self._reference_loop(ref, app, num_vectors, 1.0)
+            assert got_med == pytest.approx(want_med, rel=1e-12)
+
+    def test_zero_and_full_error_exact(self):
+        ref = np.array([[0]], dtype=np.uint64)
+        app = np.array([[1]], dtype=np.uint64)
+        assert nmed(ref, ref, 1) == 0.0
+        assert nmed(ref, app, 1) == 1.0
