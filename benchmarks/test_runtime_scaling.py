@@ -58,6 +58,7 @@ from repro.core import (
 from repro.core.parallel import _pack_eval
 from repro.reporting import format_series
 from repro.sim import ErrorMode, ValueStore, best_switch
+from repro.sta import update_timing, update_timing_batch
 
 WIDTHS = (8, 16, 32, 64, 128)
 PARALLEL_WIDTHS = (64, 128)
@@ -169,19 +170,54 @@ def run_generation_batching():
 
     One generation of ``GENERATION_SIZE`` LAC children whose cones all
     overlap on the reference parent — the workload the stacked value
-    matrices target.  Bit-identity between the two paths is asserted
-    before any number is reported.
+    matrices and the stacked timing frontier target.  Bit-identity
+    between the paths is asserted before any number is reported.  The
+    ``sta_*`` rows isolate the timing half: ``update_timing_batch``
+    over the whole generation vs a per-child ``update_timing`` loop on
+    the same (circuit, changed) pairs.
     """
     library = default_library()
     rows = {
         "seq_gen_evals_per_s": [],
         "batch_gen_evals_per_s": [],
         "batch_speedup": [],
+        "seq_sta_per_s": [],
+        "stacked_sta_per_s": [],
+        "sta_speedup": [],
     }
     for width in PARALLEL_WIDTHS:
         _, ctx = _build_ctx(width, library)
         parent = ctx.reference_eval()
         children = _generation(ctx, GENERATION_SIZE)
+        # --- timing half in isolation: stacked frontier vs per-child ---
+        pairs = [
+            (c.copy(), c.valid_provenance().changed) for c in children
+        ]
+        stacked = update_timing_batch(ctx.sta, parent.report, pairs)
+        for (c, ch), a in zip(pairs, stacked):
+            b = update_timing(ctx.sta, c, parent.report, ch)
+            assert np.array_equal(a.arrival_a, b.arrival_a)
+            assert np.array_equal(a.slew_a, b.slew_a)
+            assert np.array_equal(a.load_a, b.load_a)
+            assert np.array_equal(a.unit_depth_a, b.unit_depth_a)
+            assert np.array_equal(a.critical_fanin_a, b.critical_fanin_a)
+        best_sta_seq = best_sta_stacked = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            for c, ch in pairs:
+                update_timing(ctx.sta, c, parent.report, ch)
+            best_sta_seq = min(best_sta_seq, time.perf_counter() - start)
+            start = time.perf_counter()
+            update_timing_batch(ctx.sta, parent.report, pairs)
+            best_sta_stacked = min(
+                best_sta_stacked, time.perf_counter() - start
+            )
+        sta_seq_rate = len(pairs) / best_sta_seq
+        sta_stacked_rate = len(pairs) / best_sta_stacked
+        rows["seq_sta_per_s"].append(sta_seq_rate)
+        rows["stacked_sta_per_s"].append(sta_stacked_rate)
+        rows["sta_speedup"].append(sta_stacked_rate / sta_seq_rate)
+        # --- full evaluation path (value walk + timing + metrics) ---
         # Identity first (copies carry the same provenance record).
         batch_evals = evaluate_batch(
             ctx, [(c.copy(), (parent,)) for c in children]
@@ -345,7 +381,8 @@ def test_runtime_scaling(benchmark):
     text += "\n\n" + format_series(
         "Generation evaluation, stacked batch vs sequential incremental "
         f"({GENERATION_SIZE} LAC children on the reference parent; "
-        "bit-identity asserted first)",
+        "bit-identity asserted first; sta_* rows isolate "
+        "update_timing_batch vs a per-child update_timing loop)",
         "width",
         list(PARALLEL_WIDTHS),
         generation_rows,
@@ -369,6 +406,9 @@ def test_runtime_scaling(benchmark):
     assert all(r < 1.0 for r in transport_rows["ratio"])
     assert all(r < 1.0 for r in transport_rows["val_ratio"])
     assert all(r >= 0.95 for r in generation_rows["batch_speedup"])
+    # The stacked timing frontier must never drop materially below the
+    # per-child update_timing loop it batches.
+    assert all(r >= 0.95 for r in generation_rows["sta_speedup"])
     # Soft check: per-gate cost must stay within an order of magnitude
     # across a 16x size sweep (i.e. roughly linear overall scaling).
     per_gate = rows["ms_per_gate"]

@@ -20,6 +20,12 @@ parent.  :func:`evaluate_batch` amortises that across the generation:
   function (the :func:`~repro.sta.store.timing_plan` analogue), so the
   Python dispatch cost is paid per (level, function) instead of per
   (gate, child);
+* timing runs the same way: the parent's five timing arrays are forked
+  into one ``(B, rows)`` tensor per quantity and the masked incremental
+  frontier (:func:`repro.sta.update_timing_batch`) walks all children
+  level by level, dirty (child, gate) pairs bucketed per (level, cell)
+  with one batched NLDM lookup per bucket — instead of B independent
+  per-child ``update_timing`` frontier walks;
 * children in ``singles`` that share a full structure key are evaluated
   once per key and the result is shared by item index.
 
@@ -58,7 +64,12 @@ from ..sim.bitsim import _const_rows, resimulate_cone
 from ..sim.store import ValueStore, value_rows
 from ..cells import FUNCTIONS, split_cell_name
 from ..netlist import PI_CELL, PO_CELL
-from ..sta import timing_levels, update_timing
+from ..sta import (
+    shared_levels_valid,
+    timing_levels,
+    update_timing,
+    update_timing_batch,
+)
 from .fitness import (
     CircuitEval,
     EvalContext,
@@ -78,6 +89,13 @@ BatchItem = Tuple[Circuit, ParentEvals]
 #: are bit-identical (elementwise uint64 ops), so this is a pure perf
 #: knob like :data:`repro.sta.store.VECTOR_MIN_GROUP`.
 STACK_MIN_GROUP = 2
+
+#: Route a group's timing updates through the stacked incremental
+#: frontier (:func:`repro.sta.update_timing_batch`) instead of
+#: per-child :func:`repro.sta.update_timing` calls.  Both are
+#: bit-identical (pinned by tests); the toggle exists so equivalence
+#: can be asserted end-to-end with the stacked frontier on vs off.
+USE_STACKED_TIMING = True
 
 
 def _normalize_parents(parents: ParentEvals) -> Sequence[CircuitEval]:
@@ -126,37 +144,10 @@ def group_by_parent(
     return groups, singles
 
 
-def _shared_levels_valid(
-    level_of: np.ndarray,
-    row_of: Dict[int, int],
-    circuit: Circuit,
-    changed: FrozenSet[int],
-) -> bool:
-    """Can the parent's level schedule drive this child's dirty cone?
-
-    Only the *changed* gates can have rewired fan-ins; every one of them
-    (and each of its non-constant fan-ins) must exist in the parent
-    index with the fan-in at a strictly lower level.  Unchanged gates
-    carry the parent's edges and are valid by construction.  This is
-    the predicate :func:`repro.sta.update_timing` applies before
-    reusing the parent's levels — every LAC passes it.
-    """
-    fanins = circuit.fanins
-    for gid in changed:
-        if gid < 0:
-            continue
-        rg = row_of.get(gid)
-        fis = fanins.get(gid)
-        if rg is None or fis is None:
-            return False
-        lg = level_of[rg]
-        for fi in fis:
-            if fi < 0:
-                continue
-            rf = row_of.get(fi)
-            if rf is None or level_of[rf] >= lg:
-                return False
-    return True
+#: The level-validity guard now lives beside the frontier walks it
+#: gates (:func:`repro.sta.shared_levels_valid`); the historical name
+#: is kept for the call sites below.
+_shared_levels_valid = shared_levels_valid
 
 
 def _shared_order_valid(
@@ -192,7 +183,6 @@ def _batch_against_parent(
 ) -> None:
     """Evaluate one parent's children on one stacked value tensor."""
     pc = parent.circuit
-    parent_keys = pc.fanins.keys()
     pvals = parent.values
     if not isinstance(pvals, ValueStore) or not pvals.covers(pc):
         # The parent eval predates the SoA store (e.g. a dict produced
@@ -225,7 +215,7 @@ def _batch_against_parent(
     ready: List[Tuple[int, Circuit, Set[int], FrozenSet[int]]] = []
     for item_index, circuit, changed in group:
         if (
-            circuit.fanins.keys() != parent_keys
+            not circuit.same_gid_set(pc)
             or not _shared_levels_valid(level_of, row_of, circuit, changed)
         ):
             # Structure diverged beyond what the stacked walk covers
@@ -358,15 +348,26 @@ def _batch_against_parent(
             srcs = np.array([p[2] for p in po_pairs], dtype=np.int64)
             stacked[ks, rows] = stacked[ks, srcs]
 
-    # Timing + metric tail per child (identical calls to the sequential
-    # path; update_timing rederives loads only around the changed gates
-    # and schedules its frontier on shared structures the same way).
-    # Each child takes its own matrix copy so an archived eval never
-    # pins the whole generation's tensor.
+    # Timing across the whole brood at once: the stacked incremental
+    # frontier runs the same masked walk per-child update_timing would,
+    # batched per (level, cell) — bit-identical floats (one shared
+    # kernel, same seeds, same propagation predicate).  Then the metric
+    # tail per child; each child takes its own matrix copy so an
+    # archived eval never pins the whole generation's tensor.
+    if USE_STACKED_TIMING:
+        reports = update_timing_batch(
+            ctx.sta,
+            parent.report,
+            [(circuit, changed) for _, circuit, _, changed in ready],
+        )
+    else:
+        reports = [
+            update_timing(ctx.sta, circuit, parent.report, changed)
+            for _, circuit, _, changed in ready
+        ]
     for k, (item_index, circuit, _, changed) in enumerate(ready):
-        report = update_timing(ctx.sta, circuit, parent.report, changed)
         store = ValueStore(index, stacked[k].copy())
-        out[item_index] = _finish_eval(ctx, circuit, report, store)
+        out[item_index] = _finish_eval(ctx, circuit, reports[k], store)
 
 
 def _batch_against_parent_rows(
@@ -384,12 +385,11 @@ def _batch_against_parent_rows(
     pc = parent.circuit
     order = pc.topological_order()
     pos = {gid: i for i, gid in enumerate(order)}
-    parent_keys = pc.fanins.keys()
 
     ready: List[Tuple[int, Circuit, Set[int], FrozenSet[int]]] = []
     for index, circuit, changed in group:
         if (
-            circuit.fanins.keys() != parent_keys
+            not circuit.same_gid_set(pc)
             or not _shared_order_valid(pos, circuit, changed)
         ):
             out[index] = evaluate_incremental(ctx, circuit, parent)
@@ -438,9 +438,19 @@ def _batch_against_parent_rows(
             )
 
     timing_levels(pc)
+    if USE_STACKED_TIMING:
+        reports = update_timing_batch(
+            ctx.sta,
+            parent.report,
+            [(circuit, changed) for _, circuit, _, changed in ready],
+        )
+    else:
+        reports = [
+            update_timing(ctx.sta, circuit, parent.report, changed)
+            for _, circuit, _, changed in ready
+        ]
     for k, (index, circuit, _, changed) in enumerate(ready):
-        report = update_timing(ctx.sta, circuit, parent.report, changed)
-        out[index] = _finish_eval(ctx, circuit, report, values_list[k])
+        out[index] = _finish_eval(ctx, circuit, reports[k], values_list[k])
 
 
 def evaluate_batch(

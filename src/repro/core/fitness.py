@@ -317,7 +317,7 @@ def evaluate_incremental(
     # fan-out map just to find its cone.
     pc = parent.circuit
     dirty = None
-    if pc.fanins.keys() == circuit.fanins.keys():
+    if circuit.same_gid_set(pc):
         dirty = set()
         for gid in changed:
             if gid >= 0:

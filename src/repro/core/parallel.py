@@ -27,8 +27,10 @@ How determinism is preserved:
   worker-side (the parent process mirrors the cache bookkeeping, so it
   knows which worker owns which parent); subsequent generations ship
   only the children.  Workers re-stamp each child's provenance against
-  their cached parent copy and run the ordinary shared-topo-walk batch
-  path — the same code, the same floats.
+  their cached parent copy and run the ordinary batch path — stacked
+  value walk plus the stacked incremental timing frontier
+  (:func:`repro.sta.update_timing_batch`) — the same code, the same
+  floats.
 * **Results merge by item index**, so completion order is irrelevant.
 
 Evaluating each gate's value and timing is a pure function of circuit

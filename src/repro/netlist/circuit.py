@@ -54,6 +54,19 @@ def is_const(gid: int) -> bool:
     return gid == CONST0 or gid == CONST1
 
 
+def _record_digest(gid: int, cell: str, fanins: Tuple[int, ...]) -> int:
+    """Stable 128-bit digest of one gate record.
+
+    The gid is hashed *inside* the record so every gate contributes a
+    distinct term to the XOR fold in :meth:`Circuit.structure_key` —
+    two different gates can never share a term and cancel.
+    """
+    blob = repr((gid, cell, fanins)).encode("utf-8")
+    return int.from_bytes(
+        hashlib.blake2b(blob, digest_size=16).digest(), "big"
+    )
+
+
 class _TrackedDict(dict):
     """A dict that bumps its owning circuit's structure version on writes.
 
@@ -397,6 +410,34 @@ class Circuit:
                 break
         return self._store("gid_topo", ok)
 
+    def same_gid_set(self, other: "Circuit") -> bool:
+        """True when both circuits carry exactly the same gate-ID set.
+
+        This is the gate every parent-structure reuse in the evaluation
+        hot path runs through (shared timing index, shared fan-out map,
+        shared dirty cones), and it used to be paid as a full
+        ``fanins.keys() == parent.fanins.keys()`` set comparison per
+        child per evaluation.  Memoized per (this version, other
+        version) pair; the entry holds a strong reference to ``other``
+        so an ``id()`` recycled by the allocator can never alias a dead
+        circuit's cached answer.
+        """
+        if other is self:
+            return True
+        cache = self._cached("same_gids")
+        if cache is None:
+            cache = self._store("same_gids", {})
+        hit = cache.get(id(other))
+        if (
+            hit is not None
+            and hit[0] is other
+            and hit[1] == other._version
+        ):
+            return hit[2]
+        result = self._fanins.keys() == other._fanins.keys()
+        cache[id(other)] = (other, other._version, result)
+        return result
+
     def live_gates(self) -> FrozenSet[int]:
         """Gates reachable backwards from any PO (POs and PIs included).
 
@@ -610,6 +651,43 @@ class Circuit:
         )
         self._prov_version = self._version
 
+    def _record_digests(self) -> Dict[int, int]:
+        """Per-gate record digests the structure keys are folded from.
+
+        Maps every gate ID to a 128-bit BLAKE2b digest of its record
+        ``(gid, cell, fanins)``.  The map is the incremental substrate
+        of :meth:`structure_key` / :meth:`full_structure_key`: a
+        copy-then-mutate child with a valid provenance record inherits
+        the parent's map as a C-level dict copy and re-hashes only the
+        ``changed`` gates, instead of re-encoding and re-hashing the
+        whole adjacency per child per generation (~5% of a DCGWO run
+        before this existed).  Circuits without usable provenance (the
+        reference, unpickled shard payloads, post-hoc edits) compute
+        the map from scratch once and memoize it.  Treat the returned
+        dict as read-only.
+        """
+        cached = self._cached("rec_digests")
+        if cached is not None:
+            return cached
+        prov = self.valid_provenance()
+        if prov is not None and prov.parent is not self:
+            digests = dict(prov.parent._record_digests())
+            for gid in prov.changed:
+                if gid < 0:
+                    continue
+                fis = self._fanins.get(gid)
+                if fis is None:
+                    digests.pop(gid, None)
+                else:
+                    digests[gid] = _record_digest(gid, self._cells[gid], fis)
+        else:
+            cells = self._cells
+            digests = {
+                gid: _record_digest(gid, cells[gid], fis)
+                for gid, fis in self._fanins.items()
+            }
+        return self._store("rec_digests", digests)
+
     def full_structure_key(self) -> bytes:
         """Stable digest of the *complete* adjacency (dangling gates too).
 
@@ -620,40 +698,45 @@ class Circuit:
         :class:`~repro.core.fitness.CircuitEval`.  Evaluation anchors
         (shard-worker parent caches, batch singles dedup) must
         therefore match on everything, so this key covers every gate
-        record plus the PI/PO order.  Memoized per structure version.
+        record plus the PI/PO order.  Folded as an XOR of the per-gate
+        digests of :meth:`_record_digests` — XOR is order-independent,
+        so no sort is needed, and each gate appears in exactly one
+        record (its own gid is hashed inside it), so records can never
+        cancel pairwise.  Memoized per structure version.
         """
         cached = self._cached("full_skey")
         if cached is not None:
             return cached
-        items = sorted(
-            (gid, self._cells[gid], self._fanins[gid])
-            for gid in self._fanins
+        acc = 0
+        for d in self._record_digests().values():
+            acc ^= d
+        ports = repr((self.pi_ids, self.po_ids)).encode("utf-8")
+        acc ^= int.from_bytes(
+            hashlib.blake2b(ports, digest_size=16).digest(), "big"
         )
-        blob = repr((items, self.pi_ids, self.po_ids)).encode("utf-8")
-        digest = hashlib.blake2b(blob, digest_size=16).digest()
-        return self._store("full_skey", digest)
+        return self._store("full_skey", acc.to_bytes(16, "big"))
 
     def structure_key(self) -> int:
         """Order-independent digest of the live structure.
 
         Two circuits with identical live adjacency and cells key equal;
         used to deduplicate population members.  Computed with a stable
-        hash (BLAKE2b over a canonical encoding) rather than builtin
-        ``hash()`` so dedup decisions — and therefore archived results —
-        reproduce across processes regardless of ``PYTHONHASHSEED``.
-        Memoized per structure version.
+        hash (BLAKE2b record digests, XOR-folded over the live cone)
+        rather than builtin ``hash()`` so dedup decisions — and
+        therefore archived results — reproduce across processes
+        regardless of ``PYTHONHASHSEED``.  Memoized per structure
+        version, and incremental through the provenance protocol (see
+        :meth:`_record_digests`) — DCGWO calls this on every child for
+        dedup *before* evaluation, exactly while the record is valid.
         """
         cached = self._cached("skey")
         if cached is not None:
             return cached
-        live = self.live_gates()
-        items = sorted(
-            (gid, self._cells[gid], self._fanins[gid]) for gid in live
-        )
-        digest = hashlib.blake2b(
-            repr(items).encode("utf-8"), digest_size=16
-        ).digest()
-        return self._store("skey", int.from_bytes(digest, "big"))
+        digests = self._record_digests()
+        acc = 0
+        for gid in self.live_gates():
+            acc ^= digests[gid]
+        return self._store("skey", acc)
 
     def __repr__(self) -> str:
         return (

@@ -31,7 +31,7 @@ from .store import (
     TimingIndex,
     VECTOR_MIN_GROUP,
     eval_gate_scalar,
-    lookup_many,
+    eval_gates_vector,
     timing_index,
     timing_plan,
 )
@@ -287,16 +287,9 @@ class STAEngine:
         fgids = group.fgids
         g = len(rows)
         if g >= VECTOR_MIN_GROUP:
-            a = arr[frows]
-            s = slew[frows]
-            load = loads[rows]
-            at = a + lookup_many(cell.arc.delay, s, load[:, None])
-            j = np.argmax(at, axis=1)
-            pick = np.arange(g)
-            arr[rows] = at[pick, j]
-            slew[rows] = lookup_many(cell.arc.output_slew, s[pick, j], load)
-            depth[rows] = depth[frows][pick, j] + 1
-            cf[rows] = fgids[pick, j]
+            arr[rows], slew[rows], depth[rows], cf[rows] = eval_gates_vector(
+                cell, arr[frows], slew[frows], depth[frows], fgids, loads[rows]
+            )
             return
         k = frows.shape[1]
         for i in range(g):

@@ -291,8 +291,10 @@ def _locate(axis: np.ndarray, value: np.ndarray):
     on-breakpoint value lands on the segment *below* it with fraction
     1.0, and out-of-range values clamp to fraction exactly 0.0 / 1.0.
     """
-    idx = np.searchsorted(axis, value, side="left") - 1
-    idx = np.clip(idx, 0, len(axis) - 2)
+    idx = axis.searchsorted(value, side="left") - 1
+    # minimum(maximum(...)) == clip for ints, without np.clip's per-call
+    # dtype-limit setup — this runs once per frontier bucket.
+    idx = np.minimum(np.maximum(idx, 0), axis.shape[0] - 2)
     frac = (value - axis[idx]) / (axis[idx + 1] - axis[idx])
     frac = np.where(value <= axis[0], 0.0, frac)
     frac = np.where(value >= axis[-1], 1.0, frac)
@@ -317,6 +319,50 @@ def lookup_many(table, slew: np.ndarray, load: np.ndarray) -> np.ndarray:
     top = v00 * (1.0 - fl) + v01 * fl
     bot = v10 * (1.0 - fl) + v11 * fl
     return top * (1.0 - fs) + bot * fs
+
+
+def eval_gates_vector(
+    cell,
+    a: np.ndarray,
+    s: np.ndarray,
+    d: np.ndarray,
+    fg: np.ndarray,
+    load: np.ndarray,
+):
+    """Vectorized first-wins max over many same-cell gates at once.
+
+    ``a``/``s``/``d``/``fg`` are ``(P, k)`` gathers of the gates' fan-in
+    rows (arrival, slew, depth, source gid; constants pre-gathered from
+    the sentinel row with gid ``-1``) and ``load`` is the ``(P,)`` gate
+    loads.  Returns ``(arrival, slew, depth, critical_fanin)`` arrays.
+
+    Bit-identical to :func:`eval_gate_scalar` per gate: ``lookup_many``
+    equals the scalar table walk operation for operation, and ``argmax``
+    picks the *first* index attaining the maximum arrival, matching the
+    scalar ``first or at > best`` scan.  Both the full analyzer's wide
+    groups and the incremental frontier walks (sequential and stacked)
+    run through this one kernel.
+    """
+    at = a + lookup_many(cell.arc.delay, s, load[:, None])
+    j = np.argmax(at, axis=1)
+    pick = np.arange(len(j))
+    na = at[pick, j]
+    ns = lookup_many(cell.arc.output_slew, s[pick, j], load)
+    nd = d[pick, j] + 1
+    ncf = fg[pick, j]
+    return na, ns, nd, ncf
+
+
+def fork_stacked(a: np.ndarray, count: int) -> np.ndarray:
+    """``count`` independent copies of one timing array, stacked.
+
+    The ``(count, rows)`` fork the stacked incremental frontier mutates
+    per child — the tensor analogue of ``previous.<array>.copy()`` in
+    the per-child walk.
+    """
+    out = np.empty((count,) + a.shape, dtype=a.dtype)
+    out[:] = a
+    return out
 
 
 def eval_gate_scalar(cell, fan_timing, load: float, input_slew: float):

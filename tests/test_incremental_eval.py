@@ -355,6 +355,53 @@ class TestStructureKey:
         mutated.substitute(5, CONST1)
         assert mutated.structure_key() != fig3.structure_key()
 
+    def test_incremental_digest_matches_from_scratch(self):
+        """Provenance children re-hash only their changed records; a
+        pickled clone (provenance dropped) recomputes every record from
+        scratch — both paths must fold to the same keys along a whole
+        derivation chain."""
+        import pickle
+
+        rng = random.Random(11)
+        circuit = build_adder(6)
+        for _ in range(6):
+            child = circuit.copy()
+            v0 = child.version
+            target = rng.choice(child.logic_ids())
+            switch = rng.choice(sorted(child.transitive_fanin(target)))
+            writes = child.substitute(target, switch)
+            child.extend_provenance(writes, v0, len(writes))
+            assert child.valid_provenance() is not None
+            clone = pickle.loads(pickle.dumps(child))
+            assert clone.provenance is None
+            assert child.structure_key() == clone.structure_key()
+            assert (
+                child.full_structure_key() == clone.full_structure_key()
+            )
+            circuit = child
+
+    def test_incremental_digest_after_gate_removal(self):
+        """A provenance record covering a *deleted* gid must drop that
+        gate's record digest, not re-hash a ghost."""
+        import pickle
+
+        circuit = build_adder(6)
+        child = circuit.copy()
+        v0 = child.version
+        target = child.logic_ids()[3]
+        switch = sorted(child.transitive_fanin(target))[0]
+        writes = child.substitute(target, switch)
+        del child.fanins[target]
+        del child.cells[target]
+        child.extend_provenance(
+            list(writes) + [target], v0, len(writes) + 2
+        )
+        assert child.valid_provenance() is not None
+        clone = pickle.loads(pickle.dumps(child))
+        assert child.structure_key() == clone.structure_key()
+        assert child.full_structure_key() == clone.full_structure_key()
+        assert child.full_structure_key() != circuit.full_structure_key()
+
 
 class TestRemoveGateGuard:
     def test_referenced_gate_refuses(self, fig3):

@@ -35,7 +35,9 @@ from repro.core import (
     EvalContext,
     LAC,
     applied_copy,
+    circuit_reproduce,
     evaluate,
+    evaluate_batch,
     evaluate_incremental,
     is_safe,
 )
@@ -50,6 +52,7 @@ from repro.sta import (
     timing_levels,
     timing_plan,
     update_timing,
+    update_timing_batch,
 )
 from repro.sta.store import VECTOR_MIN_GROUP
 
@@ -353,6 +356,21 @@ def _tie_engine(tie_library):
     return STAEngine(tie_library, wire_cap_per_fanout=0.0)
 
 
+def _random_tie_circuit(rng):
+    """Layered same-delay DAG: every same-level pair ties exactly."""
+    b = CircuitBuilder("tieprop")
+    signals = b.pis(6)
+    for _ in range(4):
+        layer = []
+        for _ in range(6):
+            fn = rng.choice(["AND2", "OR2"])
+            a, c = rng.sample(signals, 2)
+            layer.append(b.gate(fn, a, c) if fn == "AND2" else b.or2(a, c))
+        signals = layer
+    b.pos(signals[:4])
+    return b.done()
+
+
 class TestTiePropagation:
     def _tie_circuit(self):
         """Two exactly-tied paths of different unit depth into one gate."""
@@ -392,24 +410,10 @@ class TestTiePropagation:
         assert inc.max_unit_depth == 3
         assert inc.critical_path() == [p, y1, g, h, child.po_ids[0]]
 
-    def _random_tie_circuit(self, rng):
-        """Layered same-delay DAG: every same-level pair ties exactly."""
-        b = CircuitBuilder("tieprop")
-        signals = b.pis(6)
-        for _ in range(4):
-            layer = []
-            for _ in range(6):
-                fn = rng.choice(["AND2", "OR2"])
-                a, c = rng.sample(signals, 2)
-                layer.append(b.gate(fn, a, c) if fn == "AND2" else b.or2(a, c))
-            signals = layer
-        b.pos(signals[:4])
-        return b.done()
-
     @pytest.mark.parametrize("seed", [0, 1, 2, 3])
     def test_property_random_edits_match_full(self, tie_library, seed):
         rng = random.Random(seed)
-        circuit = self._random_tie_circuit(rng)
+        circuit = _random_tie_circuit(rng)
         engine = _tie_engine(tie_library)
         report = engine.analyze(circuit)
         for _ in range(8):
@@ -443,7 +447,7 @@ class TestTiePropagation:
     )
     def test_eval_equivalence_under_ties(self, tie_library, depth_mode):
         rng = random.Random(5)
-        circuit = self._random_tie_circuit(rng)
+        circuit = _random_tie_circuit(rng)
         ctx = EvalContext.build(
             circuit,
             tie_library,
@@ -535,3 +539,242 @@ class TestSeededRunsStillIdentical:
             inc.best.circuit.structure_key()
             == full.best.circuit.structure_key()
         )
+
+
+# ----------------------------------------------------------------------
+# stacked incremental frontier: update_timing_batch bit-identity
+# ----------------------------------------------------------------------
+def _random_lac_child(circuit, rng):
+    """A safe LAC child of ``circuit`` carrying a valid provenance record."""
+    logic = circuit.logic_ids()
+    rng.shuffle(logic)
+    for target in logic:
+        cands = [
+            c
+            for c in circuit.transitive_fanin(target)
+            if not circuit.is_po(c)
+        ] + [-1, -2]
+        rng.shuffle(cands)
+        for switch in cands:
+            lac = LAC(target=target, switch=switch)
+            if is_safe(circuit, lac):
+                return applied_copy(circuit, lac)
+    raise AssertionError("no safe LAC available")
+
+
+def _changed_of(child):
+    prov = child.valid_provenance()
+    assert prov is not None
+    return prov.changed
+
+
+def _fanout_heavy_circuit():
+    """One signal fanning out to 12 same-cell gates on a single level."""
+    b = CircuitBuilder("fanout")
+    pis = b.pis(4)
+    src = b.nand2(pis[0], pis[1])
+    alt = b.nand2(pis[2], pis[3])
+    mids = [b.xor2(src, pis[i % 4]) for i in range(12)]
+    outs = [b.and2(mids[i], mids[(i + 1) % 12]) for i in range(12)]
+    b.pos(outs)
+    return b.done(), src, alt
+
+
+class TestStackedFrontier:
+    """``update_timing_batch`` == per-child ``update_timing``, bit for bit."""
+
+    def test_matches_per_child_and_full_on_adder(self, library):
+        circuit = build_adder(8)
+        engine = STAEngine(library)
+        previous = engine.analyze(circuit)
+        rng = random.Random(17)
+        children = []
+        for _ in range(10):
+            child = _random_lac_child(circuit, rng)
+            children.append((child, _changed_of(child)))
+        batch = update_timing_batch(engine, previous, children)
+        assert len(batch) == len(children)
+        for (child, changed), got in zip(children, batch):
+            assert got.circuit is child
+            assert got.index is previous.index  # shares the parent's rows
+            seq = update_timing(engine, child, previous, changed)
+            _assert_same_timing(child, got, seq)
+            _assert_same_timing(child, got, engine.analyze(child))
+
+    def test_tie_reresolution_stacked(self, tie_library):
+        rng = random.Random(3)
+        circuit = _random_tie_circuit(rng)
+        engine = _tie_engine(tie_library)
+        previous = engine.analyze(circuit)
+        children = []
+        for target in circuit.logic_ids()[::2]:
+            lac = LAC(target=target, switch=-1)
+            if is_safe(circuit, lac):
+                child = applied_copy(circuit, lac)
+                children.append((child, _changed_of(child)))
+        assert len(children) >= 3
+        batch = update_timing_batch(engine, previous, children)
+        for (child, _), got in zip(children, batch):
+            _assert_same_timing(child, got, engine.analyze(child))
+
+    def test_wide_dirty_frontier_sequential_vectorized(self, library):
+        # A single edit that dirties >= VECTOR_MIN_GROUP same-cell gates
+        # on one level: hits the vectorized branch of the sequential
+        # frontier walk.
+        circuit, src, alt = _fanout_heavy_circuit()
+        engine = STAEngine(library)
+        previous = engine.analyze(circuit)
+        child = circuit.copy()
+        changed = child.substitute(src, alt)
+        assert len(changed) >= VECTOR_MIN_GROUP
+        inc = update_timing(engine, child, previous, changed)
+        _assert_same_timing(child, inc, engine.analyze(child))
+
+    def test_wide_dirty_frontier_stacked(self, library):
+        circuit, src, alt = _fanout_heavy_circuit()
+        engine = STAEngine(library)
+        previous = engine.analyze(circuit)
+        children = []
+        for _ in range(3):
+            child = circuit.copy()
+            children.append((child, child.substitute(src, alt)))
+        batch = update_timing_batch(engine, previous, children)
+        full = engine.analyze(children[0][0])
+        for (child, _), got in zip(children, batch):
+            _assert_same_timing(child, got, full)
+
+    def test_single_child_group_matches_sequential(self, library):
+        circuit = build_adder(6)
+        engine = STAEngine(library)
+        previous = engine.analyze(circuit)
+        child = _random_lac_child(circuit, random.Random(5))
+        changed = _changed_of(child)
+        (got,) = update_timing_batch(engine, previous, [(child, changed)])
+        _assert_same_timing(
+            child, got, update_timing(engine, child, previous, changed)
+        )
+
+    def test_diverged_gid_set_falls_back(self, library):
+        # One child deleted a gate: its row space no longer matches the
+        # parent report, so it must take the per-child fallback while
+        # its siblings still ride the stacked frontier.
+        circuit = build_adder(6)
+        engine = STAEngine(library)
+        previous = engine.analyze(circuit)
+        rng = random.Random(23)
+        children = [_random_lac_child(circuit, rng) for _ in range(3)]
+        items = [(c, _changed_of(c)) for c in children]
+        removed = circuit.copy()
+        target = removed.logic_ids()[4]
+        switch = sorted(removed.transitive_fanin(target))[0]
+        writes = removed.substitute(target, switch)
+        del removed.fanins[target]
+        del removed.cells[target]
+        items.append((removed, list(writes) + [target]))
+        batch = update_timing_batch(engine, previous, items)
+        assert len(batch) == len(items)
+        for (child, _), got in zip(items, batch):
+            _assert_same_timing(child, got, engine.analyze(child))
+
+    def test_stale_parent_falls_back(self, library):
+        circuit = build_adder(6)
+        engine = STAEngine(library)
+        previous = engine.analyze(circuit)
+        rng = random.Random(29)
+        children = [_random_lac_child(circuit, rng) for _ in range(2)]
+        items = [(c, _changed_of(c)) for c in children]
+        # Mutate the parent after the report: every child must detour
+        # through the sequential path's own staleness handling.
+        gid = circuit.logic_ids()[0]
+        circuit.set_cell(gid, library.upsize(circuit.cells[gid]).name)
+        batch = update_timing_batch(engine, previous, items)
+        for (child, _), got in zip(items, batch):
+            _assert_same_timing(child, got, engine.analyze(child))
+
+    @pytest.mark.parametrize(
+        "depth_mode", [DepthMode.UNIT, DepthMode.DELAY]
+    )
+    def test_eval_batch_identity_under_ties(
+        self, tie_library, depth_mode, monkeypatch
+    ):
+        import repro.core.batch as batch_mod
+
+        rng = random.Random(7)
+        circuit = _random_tie_circuit(rng)
+        ctx = EvalContext.build(
+            circuit,
+            tie_library,
+            ErrorMode.ER,
+            num_vectors=128,
+            seed=7,
+            depth_mode=depth_mode,
+            sta=_tie_engine(tie_library),
+        )
+        parent = ctx.reference_eval()
+        children = [_random_lac_child(circuit, rng) for _ in range(6)]
+        copies = [c.copy() for c in children]  # copies keep provenance
+        monkeypatch.setattr(batch_mod, "USE_STACKED_TIMING", True)
+        got = evaluate_batch(ctx, [(c, parent) for c in children])
+        monkeypatch.setattr(batch_mod, "USE_STACKED_TIMING", False)
+        ref = evaluate_batch(ctx, [(c, parent) for c in copies])
+        for g, r in zip(got, ref):
+            assert g.fitness == r.fitness
+            assert g.depth == r.depth
+            assert g.error == r.error
+            assert g.report.max_unit_depth == r.report.max_unit_depth
+            _assert_same_timing(g.circuit, g.report, r.report)
+
+    def test_crossover_children_stacked_identity(self, library):
+        circuit = build_adder(6)
+        ctx = EvalContext.build(
+            circuit, library, ErrorMode.ER, num_vectors=128, seed=13
+        )
+        ref = ctx.reference_eval()
+        rng = random.Random(13)
+        evs = [
+            evaluate_incremental(ctx, _random_lac_child(circuit, rng), ref)
+            for _ in range(4)
+        ]
+        kids = [
+            circuit_reproduce(evs[i], evs[j], ctx)
+            for i, j in [(0, 1), (1, 2), (2, 3), (0, 3)]
+        ]
+        copies = [k.copy() for k in kids]
+        got = evaluate_batch(ctx, [(k, tuple(evs)) for k in kids])
+        for g, c in zip(got, copies):
+            r = evaluate_incremental(ctx, c, tuple(evs))
+            assert g.fitness == r.fitness
+            assert g.depth == r.depth
+            assert g.error == r.error
+            _assert_same_timing(g.circuit, g.report, r.report)
+
+    def test_dcgwo_identity_with_stacked_frontier_on_off(
+        self, library, monkeypatch
+    ):
+        import repro.core.batch as batch_mod
+
+        circuit = build_adder(6)
+        results = []
+        for flag in (True, False):
+            monkeypatch.setattr(batch_mod, "USE_STACKED_TIMING", flag)
+            ctx = EvalContext.build(
+                circuit, library, ErrorMode.ER, num_vectors=128, seed=9
+            )
+            cfg = DCGWOConfig(
+                population_size=5,
+                imax=3,
+                seed=33,
+                use_batch=True,
+                use_parallel=False,
+            )
+            results.append(DCGWO(ctx, 0.05, cfg).optimize())
+        on, off = results
+        assert on.best.fitness == off.best.fitness
+        assert on.best.depth == off.best.depth
+        assert (
+            on.best.circuit.structure_key()
+            == off.best.circuit.structure_key()
+        )
+        assert [e.fitness for e in on.population] == [
+            e.fitness for e in off.population
+        ]
