@@ -30,11 +30,18 @@ things:
   the value payload alone (dense matrix vs the PR-3 keyed row packing).
   Tracked alongside evals/s so packing regressions are as visible as
   throughput regressions.
+* **warm cache** — the same generation evaluated cold (write-through
+  into a fresh evaluation lake) and then warm from a fresh process-like
+  handle on that lake (empty index and LRU, so every hit comes off
+  disk).  The warm pass is asserted bit-identical to the uncached one
+  and must clear a >50% batch hit rate before its throughput is
+  reported.
 """
 
 import os
 import pickle
 import random
+import tempfile
 import time
 
 import numpy as np
@@ -56,6 +63,7 @@ from repro.core import (
     is_safe,
 )
 from repro.core.parallel import _pack_eval
+from repro.lake import EvalCache
 from repro.reporting import format_series
 from repro.sim import ErrorMode, ValueStore, best_switch
 from repro.sta import update_timing, update_timing_batch
@@ -248,6 +256,64 @@ def run_generation_batching():
     return rows
 
 
+def run_warm_cache():
+    """Cold write-through vs warm hits for one generation via the lake.
+
+    The cold pass evaluates a generation with an empty lake attached
+    (paying STA + simulation + the segment write); the warm pass reuses
+    the directory through a *fresh* :class:`EvalCache` (empty in-memory
+    index and LRU — every record is found by directory refresh and read
+    off disk, the cross-run scenario).  Bit-identity with the uncached
+    evaluation and the >50% batch hit rate are asserted before either
+    throughput is reported.
+    """
+    library = default_library()
+    rows = {
+        "cold_gen_evals_per_s": [],
+        "warm_gen_evals_per_s": [],
+        "warm_speedup": [],
+        "warm_hit_rate": [],
+    }
+    for width in PARALLEL_WIDTHS:
+        _, ctx = _build_ctx(width, library)
+        parent = ctx.reference_eval()
+        children = _generation(ctx, GENERATION_SIZE)
+        ctx.lake = False  # the uncached baseline pays full price
+        plain = evaluate_batch(
+            ctx, [(c.copy(), (parent,)) for c in children]
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            lake_dir = os.path.join(tmp, "lake")
+            ctx.lake = EvalCache(lake_dir)
+            clones = [(c.copy(), (parent,)) for c in children]
+            start = time.perf_counter()
+            cold = evaluate_batch(ctx, clones)
+            cold_s = time.perf_counter() - start
+            assert all(_same_eval(a, b) for a, b in zip(plain, cold))
+            warm_lake = EvalCache(lake_dir)
+            ctx.lake = warm_lake
+            best_warm = float("inf")
+            for _ in range(3):
+                clones = [(c.copy(), (parent,)) for c in children]
+                start = time.perf_counter()
+                warm = evaluate_batch(ctx, clones)
+                best_warm = min(best_warm, time.perf_counter() - start)
+            assert all(_same_eval(a, b) for a, b in zip(plain, warm))
+            counters = warm_lake.counters
+            hit_rate = counters["hits"] / (
+                counters["hits"] + counters["misses"]
+            )
+            assert hit_rate > 0.5
+        ctx.lake = False
+        cold_rate = len(children) / cold_s
+        warm_rate = len(children) / best_warm
+        rows["cold_gen_evals_per_s"].append(cold_rate)
+        rows["warm_gen_evals_per_s"].append(warm_rate)
+        rows["warm_speedup"].append(warm_rate / cold_rate)
+        rows["warm_hit_rate"].append(hit_rate)
+    return rows
+
+
 def _legacy_pack_bytes(ev):
     """Pickled size of the pre-SoA packing (five per-gate timing dicts).
 
@@ -395,6 +461,15 @@ def test_runtime_scaling(benchmark):
         list(PARALLEL_WIDTHS),
         transport_rows,
     )
+    warm_rows = run_warm_cache()
+    text += "\n\n" + format_series(
+        "Evaluation lake, cold write-through vs warm disk hits "
+        f"({GENERATION_SIZE} LAC children; warm pass bit-identical "
+        "to uncached and >50% batch hit rate asserted first)",
+        "width",
+        list(PARALLEL_WIDTHS),
+        warm_rows,
+    )
     publish("runtime_scaling", text)
     # The SoA packing must actually be smaller than the dict packing it
     # replaced — a transport regression fails the bench like a
@@ -409,6 +484,9 @@ def test_runtime_scaling(benchmark):
     # The stacked timing frontier must never drop materially below the
     # per-child update_timing loop it batches.
     assert all(r >= 0.95 for r in generation_rows["sta_speedup"])
+    # Warm lake hits skip STA and simulation entirely; if they ever get
+    # slower than the cold write-through pass, the cache lost its point.
+    assert all(r >= 1.0 for r in warm_rows["warm_speedup"])
     # Soft check: per-gate cost must stay within an order of magnitude
     # across a 16x size sweep (i.e. roughly linear overall scaling).
     per_gate = rows["ms_per_gate"]

@@ -21,6 +21,10 @@ Examples::
 
     # report timing/area of a netlist against the bundled library
     python -m repro report design.v
+
+    # inspect / maintain a persistent evaluation cache
+    python -m repro cache stats ./lake
+    python -m repro cache compact ./lake --max-bytes 100000000
 """
 
 from __future__ import annotations
@@ -119,6 +123,7 @@ def _flow_config(args: argparse.Namespace) -> FlowConfig:
         effort=values["effort"],
         seed=values["seed"],
         area_con=getattr(args, "area_con", None),
+        cache_dir=getattr(args, "cache_dir", None),
     )
 
 
@@ -273,6 +278,35 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .lake import open_cache, resolve_cache_dir
+
+    directory = resolve_cache_dir(args.dir)
+    if directory is None:
+        print(
+            "cache: no directory given and REPRO_CACHE is unset",
+            file=sys.stderr,
+        )
+        return 2
+    cache = open_cache(directory)
+    if args.cache_command == "stats":
+        info = cache.aggregate_stats()
+    elif args.cache_command == "compact":
+        info = cache.compact(
+            max_bytes=args.max_bytes, max_age_s=args.max_age_s
+        )
+    else:  # gc
+        info = cache.gc(
+            max_bytes=args.max_bytes, max_age_s=args.max_age_s
+        )
+    for key, value in info.items():
+        if isinstance(value, float):
+            print(f"{key}: {value:.4f}")
+        else:
+            print(f"{key}: {value}")
+    return 0
+
+
 def _add_flow_arguments(parser: argparse.ArgumentParser) -> None:
     # Defaults stay None here (real defaults live in _FLOW_FLAG_DEFAULTS)
     # so --resume can tell explicitly-passed flags apart and warn.
@@ -300,6 +334,13 @@ def _add_flow_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "worker processes for evaluation (default: REPRO_JOBS or "
             "serial); results are bit-identical to serial"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help=(
+            "persistent evaluation-cache directory (default: REPRO_CACHE "
+            "or disabled); hits are bit-identical to recomputation"
         ),
     )
     parser.add_argument(
@@ -382,6 +423,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser("report", help="STA report for a netlist")
     p_rep.add_argument("netlist", help="input .v file")
     p_rep.set_defaults(func=_cmd_report)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or maintain a persistent evaluation cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "hit/miss counters and on-disk census"),
+        ("compact", "merge segments, dropping dead record versions"),
+        ("gc", "drop whole segments past the age/size budget"),
+    ):
+        p = cache_sub.add_parser(name, help=help_text)
+        p.add_argument(
+            "dir", nargs="?", default=None,
+            help="cache directory (default: REPRO_CACHE)",
+        )
+        if name != "stats":
+            p.add_argument(
+                "--max-bytes", type=int, default=None,
+                help="retention size budget in bytes",
+            )
+            p.add_argument(
+                "--max-age-s", type=float, default=None,
+                help="retention age bound in seconds",
+            )
+        p.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -36,6 +36,8 @@ class SasimiConfig:
     use_incremental: bool = True  # cone-limited candidate evaluation
     use_parallel: bool = True  # reserved: greedy rounds evaluate serially
     jobs: int = 0  # parallelized at Session.compare level, not per-round
+    #: Evaluation-lake directory (None: session/REPRO_CACHE resolution).
+    cache_dir: Optional[str] = None
 
 
 @register_method(

@@ -61,10 +61,11 @@ import numpy as np
 
 from ..netlist import Circuit
 from ..sim.bitsim import _const_rows, resimulate_cone
-from ..sim.store import ValueStore, value_rows
+from ..sim.store import ValueStore, value_rows, value_store_index
 from ..cells import FUNCTIONS, split_cell_name
 from ..netlist import PI_CELL, PO_CELL
 from ..sta import (
+    TimingReport,
     shared_levels_valid,
     timing_levels,
     update_timing,
@@ -453,27 +454,10 @@ def _batch_against_parent_rows(
         out[index] = _finish_eval(ctx, circuit, reports[k], values_list[k])
 
 
-def evaluate_batch(
+def _evaluate_batch_core(
     ctx: EvalContext, items: Sequence[BatchItem]
 ) -> List[CircuitEval]:
-    """Evaluate a generation of candidates with shared structural work.
-
-    ``items`` pairs each candidate circuit with the parent eval(s) its
-    provenance may match (exactly what the sequential loop would pass to
-    :func:`~repro.core.fitness.evaluate_incremental`).  Children sharing
-    a matched parent are evaluated on one stacked value tensor;
-    unmatched or structurally-diverged children fall back to the
-    sequential path.  Full-evaluation singles that share a *complete*
-    structure (:meth:`~repro.netlist.Circuit.full_structure_key`, which
-    covers dangling gates — two live-equal circuits can still differ in
-    dangling loads and therefore in timing) are evaluated once per key
-    and the result shared by item index; a duplicate's metrics are the
-    same floats a separate evaluation would produce, because evaluation
-    is a pure function of the full structure.
-
-    Returns one :class:`CircuitEval` per item, in order — bit-identical
-    to evaluating each item with ``evaluate_incremental``.
-    """
+    """The cache-oblivious batch evaluator (see :func:`evaluate_batch`)."""
     out: List[Optional[CircuitEval]] = [None] * len(items)
     groups, singles = group_by_parent(items)
     first_of: Dict[bytes, int] = {}
@@ -498,4 +482,143 @@ def evaluate_batch(
             )
     for parent, group in groups:
         _batch_against_parent(ctx, parent, group, out)
+    return out  # type: ignore[return-value]
+
+
+def _rebuild_cached_eval(
+    ctx: EvalContext, circuit: Circuit, payload: Tuple
+) -> Optional[CircuitEval]:
+    """Turn a lake payload back into a live eval for ``circuit``.
+
+    The payload holds only context-key-pure data (the five SoA timing
+    arrays and the dense value matrix); the metric tail is re-run
+    through the same :func:`~repro.core.fitness._finish_eval` every
+    computed path uses, so a hit is bit-identical to a fresh
+    evaluation by construction.  The report and store are rebuilt on
+    the *requesting* circuit's memoized row index and current version —
+    a cached record never leaks its original circuit object.  Returns
+    ``None`` (caller recomputes) if the payload's shape does not match
+    the circuit — defense in depth; the composite key already rules
+    this out short of digest collisions.
+    """
+    try:
+        arrival, slew, load, unit_depth, critical, matrix = payload
+    except (TypeError, ValueError):
+        return None
+    index = value_store_index(circuit)
+    if (
+        getattr(arrival, "shape", None) != (index.n + 1,)
+        or getattr(matrix, "shape", (0,))[0] != index.n + 2
+    ):
+        return None
+    report = TimingReport(
+        circuit,
+        index,
+        arrival,
+        slew,
+        load,
+        unit_depth,
+        critical,
+        circuit.version,
+    )
+    values = ValueStore(index, matrix)
+    return _finish_eval(ctx, circuit, report, values)
+
+
+def _store_new_evals(
+    cache, lib: bytes, vec: bytes,
+    keys: Sequence[bytes], evals: Sequence[CircuitEval],
+) -> None:
+    """Write freshly computed evals through to the lake.
+
+    Only dense-store evals are cached: the diverged-fallback path's
+    dict value maps are rare, and keeping the stored layout uniform
+    means a hit always reconstructs the same ``ValueStore`` type the
+    mainline paths produce.
+    """
+    entries = []
+    seen: Set[bytes] = set()
+    for key, ev in zip(keys, evals):
+        if key in seen:
+            continue
+        seen.add(key)
+        values = ev.values
+        if not isinstance(values, ValueStore):
+            continue
+        entries.append((key, (*ev.report.pack()[:5], values.matrix)))
+    if entries:
+        cache.put_many(lib, vec, entries)
+
+
+def evaluate_batch(
+    ctx: EvalContext, items: Sequence[BatchItem]
+) -> List[CircuitEval]:
+    """Evaluate a generation of candidates with shared structural work.
+
+    ``items`` pairs each candidate circuit with the parent eval(s) its
+    provenance may match (exactly what the sequential loop would pass to
+    :func:`~repro.core.fitness.evaluate_incremental`).  Children sharing
+    a matched parent are evaluated on one stacked value tensor;
+    unmatched or structurally-diverged children fall back to the
+    sequential path.  Full-evaluation singles that share a *complete*
+    structure (:meth:`~repro.netlist.Circuit.full_structure_key`, which
+    covers dangling gates — two live-equal circuits can still differ in
+    dangling loads and therefore in timing) are evaluated once per key
+    and the result shared by item index; a duplicate's metrics are the
+    same floats a separate evaluation would produce, because evaluation
+    is a pure function of the full structure.
+
+    When the context has an evaluation lake attached (``cache=`` /
+    ``cache_dir=`` on the session or config, or the ``REPRO_CACHE``
+    environment), every item is first looked up by its
+    ``(structure key, library digest, vector digest)`` address; hits
+    skip STA and simulation entirely and re-run only the metric tail,
+    misses are computed by the core path and written through.  Items
+    sharing a key with a hit share one rebuilt report/value store,
+    mirroring the singles dedup above.
+
+    Returns one :class:`CircuitEval` per item, in order — bit-identical
+    to evaluating each item with ``evaluate_incremental``, with or
+    without a cache.
+    """
+    from ..lake import context_cache, context_digests
+
+    cache = context_cache(ctx)
+    if cache is None or not items:
+        return _evaluate_batch_core(ctx, items)
+    lib, vec = context_digests(ctx)
+    keys = [circuit.full_structure_key() for circuit, _ in items]
+    hits = cache.get_many(lib, vec, keys)
+    out: List[Optional[CircuitEval]] = [None] * len(items)
+    first_of: Dict[bytes, int] = {}
+    miss_items: List[BatchItem] = []
+    miss_pos: List[int] = []
+    for i, ((circuit, parents), key) in enumerate(zip(items, keys)):
+        payload = hits.get(key)
+        rebuilt: Optional[CircuitEval] = None
+        if payload is not None:
+            j = first_of.get(key)
+            if j is not None:
+                # Same dedup contract as the core singles path: share
+                # the rebuilt twin's report/values, keep this item's
+                # own circuit, release its unconsumed provenance.
+                circuit.provenance = None
+                out[i] = replace(
+                    out[j], circuit=circuit, circuit_version=circuit.version
+                )
+                continue
+            rebuilt = _rebuild_cached_eval(ctx, circuit, payload)
+        if rebuilt is None:
+            miss_items.append((circuit, parents))
+            miss_pos.append(i)
+            continue
+        first_of[key] = i
+        out[i] = rebuilt
+    if miss_items:
+        computed = _evaluate_batch_core(ctx, miss_items)
+        for pos, ev in zip(miss_pos, computed):
+            out[pos] = ev
+        _store_new_evals(
+            cache, lib, vec, [keys[p] for p in miss_pos], computed
+        )
     return out  # type: ignore[return-value]

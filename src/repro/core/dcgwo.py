@@ -74,6 +74,8 @@ class DCGWOConfig:
     use_batch: bool = True  # shared-topo-walk generation evaluation
     use_parallel: bool = True  # allow multi-process generation sharding
     jobs: int = 0  # worker processes (0: serial unless REPRO_JOBS is set)
+    #: Evaluation-lake directory (None: session/REPRO_CACHE resolution).
+    cache_dir: Optional[str] = None
     enable_simplification: bool = False  # extension: in-place gate rewrites
     simplification_rate: float = 0.3  # P(simplify) per search action
 
@@ -139,16 +141,29 @@ class DCGWO(Optimizer):
 
         The forked circuits are collected first and evaluated as one
         generation (none of the RNG draws depend on evaluation results,
-        so batching preserves the exact seeded trajectory).
+        so batching preserves the exact seeded trajectory).  Warm-start
+        seeds (``Session.warm_start`` fronts handed to the optimizer)
+        occupy leading population slots; the remainder is filled with
+        the usual random LAC forks.  Seeding changes the trajectory —
+        it is an explicit opt-in, never implied by an attached cache.
         """
         cfg = self.config
         reference = self.ctx.reference
         values = self.ctx.reference_values
         circuits: List[Circuit] = []
+        seeded: List[Circuit] = []
         seen: Set[int] = set()
+        for seed_circuit in self.seed_circuits:
+            if len(seeded) >= cfg.population_size:
+                break
+            key = seed_circuit.structure_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            seeded.append(seed_circuit.copy())
         attempts = 0
         while (
-            len(circuits) < cfg.population_size
+            len(seeded) + len(circuits) < cfg.population_size
             and attempts < 20 * cfg.population_size
         ):
             attempts += 1
@@ -161,14 +176,19 @@ class DCGWO(Optimizer):
                 continue
             seen.add(key)
             circuits.append(child)
-        if not circuits:
+        if not circuits and not seeded:
             # Degenerate circuit with no admissible LAC: seed with the
             # accurate circuit itself so the optimizer still terminates.
             return [
                 self._evaluate(reference.copy(), self.ctx.reference_eval())
             ]
         parents = (self.ctx.reference_eval(),)
-        return self._evaluate_generation([(c, parents) for c in circuits])
+        # Warm-start seeds came from disk, so they carry no provenance
+        # and evaluate fully (or straight from the lake when attached).
+        return self._evaluate_generation(
+            [(c, None) for c in seeded]
+            + [(c, parents) for c in circuits]
+        )
 
     # ------------------------------------------------------------------
     def _chase_children(

@@ -82,6 +82,12 @@ class EvalContext:
     _ref_unpack_cache: List[object] = field(
         default_factory=make_unpack_cache, repr=False, compare=False
     )
+    #: The attached evaluation lake (:class:`repro.lake.EvalCache`).
+    #: Tri-state: an ``EvalCache`` caches batch evaluations across runs,
+    #: ``False`` disables caching outright (the ``REPRO_CACHE``
+    #: environment is not consulted), ``None`` (default) resolves the
+    #: environment lazily on first batch evaluation.
+    lake: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def wa(self) -> float:

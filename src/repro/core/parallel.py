@@ -78,7 +78,7 @@ from ..sim import ErrorMode, VectorSet
 from ..sim.store import ValueStore, value_store_index
 from ..sta import TimingReport
 from .batch import BatchItem, evaluate_batch, group_by_parent
-from .fitness import CircuitEval, DepthMode, EvalContext, evaluate
+from .fitness import CircuitEval, DepthMode, EvalContext
 
 #: Set in worker processes so :func:`resolve_jobs` never nests pools.
 _IN_WORKER = False
@@ -144,9 +144,16 @@ class _ContextSpec:
     num_vectors: int
     wd: float
     depth_mode: DepthMode
+    #: Evaluation-lake directory workers write through to (``None``:
+    #: unset — workers resolve ``REPRO_CACHE`` themselves, matching the
+    #: parent's lazy resolution; ``cache_off`` ships an explicit
+    #: ``cache=False`` so a disabled parent disables its workers too).
+    cache_dir: Optional[str] = None
+    cache_off: bool = False
 
     @classmethod
     def from_ctx(cls, ctx: EvalContext) -> "_ContextSpec":
+        lake = getattr(ctx, "lake", None)
         return cls(
             reference=ctx.reference,
             library=ctx.library,
@@ -155,10 +162,12 @@ class _ContextSpec:
             num_vectors=ctx.vectors.num_vectors,
             wd=ctx.wd,
             depth_mode=ctx.depth_mode,
+            cache_dir=lake.path if lake else None,
+            cache_off=lake is False,
         )
 
     def build(self) -> EvalContext:
-        return EvalContext.build(
+        ctx = EvalContext.build(
             self.reference,
             self.library,
             self.error_mode,
@@ -166,6 +175,13 @@ class _ContextSpec:
             wd=self.wd,
             depth_mode=self.depth_mode,
         )
+        if self.cache_off:
+            ctx.lake = False
+        elif self.cache_dir:
+            from ..lake import open_cache
+
+            ctx.lake = open_cache(self.cache_dir)
+        return ctx
 
 
 # A CircuitEval's ``values`` are a dense SoA matrix laid out by the
@@ -309,11 +325,25 @@ def _worker_eval(
             if child_key is not None:
                 cache[child_key] = ev
             results.append((index, _pack_eval(ev)))
-    for index, circuit, child_key in singles:
-        ev = evaluate(ctx, circuit)
-        if child_key is not None:
-            cache[child_key] = ev
-        results.append((index, _pack_eval(ev)))
+    if singles:
+        # Through the batch evaluator rather than a bare `evaluate`
+        # loop so the shard consults/populates the evaluation lake and
+        # shares duplicate-key work exactly like the serial path
+        # (pickling dropped any provenance, so every item stays a
+        # full-evaluation single — bit-identical either way).
+        evals = evaluate_batch(
+            ctx, [(circuit, None) for _, circuit, _ in singles]
+        )
+        for (index, _, child_key), ev in zip(singles, evals):
+            if child_key is not None:
+                cache[child_key] = ev
+            results.append((index, _pack_eval(ev)))
+    lake = getattr(ctx, "lake", None)
+    if lake:
+        # Workers exit through ``os._exit`` (no atexit), so lake hit/put
+        # counters are flushed per shard — one appended delta line, and
+        # only when the counters actually moved.
+        lake.flush_stats()
     return results
 
 

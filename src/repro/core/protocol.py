@@ -224,6 +224,18 @@ class Optimizer(ABC):
         #: The state of the most recent ``optimize()`` call; the session
         #: reads this back to checkpoint a paused run.
         self.last_state: Optional[OptimizerState] = None
+        #: Circuits to fold into the initial population (warm starts;
+        #: see ``Session.warm_start``).  Methods that build populations
+        #: consume them in ``_init_state``; greedy methods ignore them.
+        self.seed_circuits: List[Circuit] = []
+        cache_dir = getattr(config, "cache_dir", None)
+        if cache_dir and getattr(ctx, "lake", None) is None:
+            # A config-level cache_dir attaches the evaluation lake to
+            # the shared context, but never overrides a session-level
+            # attachment (or an explicit cache=False).
+            from ..lake import open_cache
+
+            ctx.lake = open_cache(cache_dir)
 
     # ------------------------------------------------------------------
     # evaluation funnels

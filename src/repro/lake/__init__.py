@@ -1,0 +1,47 @@
+"""The evaluation lakehouse: durable cross-run result caching.
+
+Every structurally identical candidate costs one evaluation *ever*,
+not one per run: :func:`repro.core.batch.evaluate_batch` consults the
+lake before computing and writes through after, keyed by
+``(full_structure_key, library_digest, vector_digest)`` — the exact
+inputs a packed evaluation is a pure function of.  Hit-path results
+are bit-identical to computed ones because only the pure parts (the
+five SoA timing arrays and the dense value matrix) are stored; the
+metric tail (:func:`repro.core.fitness._finish_eval`) is re-run
+against the live context on every hit.
+
+Public surface:
+
+* :class:`EvalCache` / :func:`open_cache` — the store itself;
+* :func:`resolve_cache_dir` / :func:`context_cache` — the resolution
+  chain (argument > config ``cache_dir`` > ``REPRO_CACHE`` env);
+* :func:`library_digest` / :func:`vectors_digest` /
+  :func:`context_digests` — the content-address components;
+* :class:`Catalog` / :class:`RunRecord` — past-run records behind
+  ``Session.warm_start``.
+
+See ``repro cache {stats,compact,gc}`` for the maintenance CLI.
+"""
+
+from .cache import (
+    DEFAULT_MEMORY_BUDGET,
+    EvalCache,
+    context_cache,
+    open_cache,
+    resolve_cache_dir,
+)
+from .catalog import Catalog, RunRecord
+from .keys import context_digests, library_digest, vectors_digest
+
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET",
+    "EvalCache",
+    "Catalog",
+    "RunRecord",
+    "context_cache",
+    "context_digests",
+    "library_digest",
+    "open_cache",
+    "resolve_cache_dir",
+    "vectors_digest",
+]

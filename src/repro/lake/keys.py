@@ -1,0 +1,97 @@
+"""Content-address components of the evaluation lake.
+
+A cached evaluation is keyed by the triple
+
+    (full structure key, library digest, vector-set digest)
+
+— exactly the inputs the cached quantities (timing arrays, simulated
+value matrix) are a pure function of.  The structure key is the
+circuit's own incremental XOR-folded blake2b digest
+(:meth:`repro.netlist.Circuit.full_structure_key`, stable across
+processes); the two digests here cover everything else that can change
+a result:
+
+* :func:`library_digest` — every cell's function, drive, area, caps
+  and NLDM tables, **plus the STA engine's knobs** (input slew, PO
+  load, wire cap per fanout): two contexts whose engines disagree must
+  never share timing rows.
+* :func:`vectors_digest` — the packed Monte-Carlo words, their shape
+  and the valid-vector count.
+
+Digests are memoized per :class:`~repro.core.fitness.EvalContext`
+(the library is immutable-after-construction by contract, and the
+vector set is frozen), *not* on the library object — a mutated library
+used by a fresh context re-digests fresh, which is what makes the
+staleness guard test observable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Tuple
+
+#: Digest width in bytes; matches the structure key's width.
+DIGEST_SIZE = 16
+
+
+def library_digest(library: Any, sta: Any = None) -> bytes:
+    """16-byte digest of a cell library plus optional STA engine knobs."""
+    h = hashlib.blake2b(digest_size=DIGEST_SIZE)
+    h.update(repr(getattr(library, "name", "")).encode())
+    for cell in library.cells():
+        arc = cell.arc
+        h.update(
+            repr(
+                (
+                    cell.name,
+                    cell.function.name,
+                    cell.drive,
+                    cell.area,
+                    cell.input_cap,
+                    cell.max_load,
+                    arc.delay.slew_axis,
+                    arc.delay.load_axis,
+                    arc.delay.values,
+                    arc.output_slew.slew_axis,
+                    arc.output_slew.load_axis,
+                    arc.output_slew.values,
+                )
+            ).encode()
+        )
+    if sta is not None:
+        h.update(
+            repr(
+                (
+                    sta.input_slew,
+                    sta.po_load,
+                    sta.wire_cap_per_fanout,
+                )
+            ).encode()
+        )
+    return h.digest()
+
+
+def vectors_digest(vectors: Any) -> bytes:
+    """16-byte digest of a packed Monte-Carlo vector set."""
+    h = hashlib.blake2b(digest_size=DIGEST_SIZE)
+    h.update(repr((vectors.words.shape, vectors.num_vectors)).encode())
+    h.update(vectors.words.tobytes())
+    return h.digest()
+
+
+def context_digests(ctx: Any) -> Tuple[bytes, bytes]:
+    """The context's ``(library_digest, vectors_digest)``, memoized.
+
+    The memo lives on the context (``_lake_digests``) because both
+    inputs are immutable for a context's lifetime; a new context around
+    a mutated library computes fresh digests and therefore misses every
+    record the old library wrote — the cross-run staleness guard.
+    """
+    cached = getattr(ctx, "_lake_digests", None)
+    if cached is None:
+        cached = (
+            library_digest(ctx.library, ctx.sta),
+            vectors_digest(ctx.vectors),
+        )
+        ctx._lake_digests = cached
+    return cached

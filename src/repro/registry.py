@@ -101,9 +101,10 @@ class MethodSpec:
         """Build this method's config from a flow-level config.
 
         Budget fields are effort-scaled; ``seed`` / ``wd`` /
-        ``depth_mode`` / ``jobs`` are forwarded whenever the config
-        declares them (``jobs`` is how a flow-level worker count
-        reaches every method's generation evaluation).
+        ``depth_mode`` / ``jobs`` / ``cache_dir`` are forwarded
+        whenever the config declares them (``jobs`` is how a flow-level
+        worker count reaches every method's generation evaluation, and
+        ``cache_dir`` how a flow-level evaluation lake does).
         """
         scaled = self.budget.scaled(getattr(flow_cfg, "effort", 1.0))
         kwargs: Dict[str, Any] = {
@@ -111,7 +112,7 @@ class MethodSpec:
             for cfg_field, budget_field in self.budget_fields.items()
         }
         declared = {f.name for f in dataclasses.fields(self.config_cls)}
-        for common in ("seed", "wd", "depth_mode", "jobs"):
+        for common in ("seed", "wd", "depth_mode", "jobs", "cache_dir"):
             if common in declared and hasattr(flow_cfg, common):
                 kwargs[common] = getattr(flow_cfg, common)
         return self.config_cls(**kwargs)

@@ -42,6 +42,7 @@ from __future__ import annotations
 import dataclasses
 import pickle
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -57,6 +58,7 @@ from .core.fitness import (
 )
 from .core.protocol import Callbacks, Optimizer, OptimizerState
 from .core.result import OptimizationResult
+from .lake import EvalCache, RunRecord, context_cache, open_cache
 from .netlist import Circuit
 from .postopt import PostOptResult, post_optimize
 from .registry import get_method, method_names
@@ -91,6 +93,11 @@ class FlowConfig:
     #: arguments override this, and results never depend on it —
     #: parallel evaluation is bit-identical to serial.
     jobs: int = 0
+    #: Evaluation-lake directory (persistent cross-run result cache);
+    #: ``None`` falls back to the ``REPRO_CACHE`` environment, and like
+    #: ``jobs`` it is purely a throughput knob — cached results are
+    #: bit-identical to computed ones.
+    cache_dir: Optional[str] = None
 
 
 @dataclass
@@ -123,6 +130,13 @@ class Session:
         library: cell library; defaults to the bundled 28nm-class one.
         ctx: pass a pre-built context to reuse reference simulation
             across sessions (skips ``pre_synth`` handling).
+        cache: an :class:`~repro.lake.EvalCache` to attach, or ``False``
+            to disable caching outright (the ``REPRO_CACHE`` environment
+            is then ignored too).
+        cache_dir: open (or create) the evaluation lake at this
+            directory; ``config.cache_dir`` is the fallback, then the
+            ``REPRO_CACHE`` environment (resolved lazily).  Cached
+            results are bit-identical to computed ones.
     """
 
     def __init__(
@@ -131,6 +145,8 @@ class Session:
         config: Optional[FlowConfig] = None,
         library: Optional[Library] = None,
         ctx: Optional[EvalContext] = None,
+        cache: Optional[Union[EvalCache, bool]] = None,
+        cache_dir: Optional[str] = None,
     ):
         self.config = config or FlowConfig()
         self.library = library or default_library()
@@ -150,6 +166,23 @@ class Session:
                 depth_mode=self.config.depth_mode,
             )
         self.ctx = ctx
+        #: Cache configuration persisted by :meth:`checkpoint` so
+        #: :meth:`resume` reattaches the same lake directory (explicit
+        #: attachments only — an env-resolved lake travels with the
+        #: environment, not the checkpoint).
+        self._cache_spec: Optional[Dict[str, Any]] = None
+        if cache is False:
+            self.ctx.lake = False
+        elif cache is not None:
+            self.ctx.lake = cache
+            self._cache_spec = {"cache_dir": cache.path}
+        else:
+            directory = cache_dir or self.config.cache_dir
+            if directory:
+                self.ctx.lake = open_cache(directory)
+                self._cache_spec = {"cache_dir": self.ctx.lake.path}
+            # else: leave ctx.lake unset; the batch evaluator resolves
+            # REPRO_CACHE lazily (and memoizes the answer per context).
         #: Paused optimizer runs by canonical method name.
         self._pending: Dict[str, Tuple[Optimizer, OptimizerState]] = {}
 
@@ -160,6 +193,11 @@ class Session:
     def circuit(self) -> Circuit:
         """The accurate reference circuit the context was built on."""
         return self.ctx.reference
+
+    @property
+    def cache(self) -> Optional[EvalCache]:
+        """The attached evaluation lake, if any (resolving the env)."""
+        return context_cache(self.ctx)
 
     @staticmethod
     def methods() -> Tuple[str, ...]:
@@ -221,6 +259,7 @@ class Session:
         stop_after: Optional[int] = None,
         config: Optional[Any] = None,
         jobs: Optional[int] = None,
+        seeds: Optional[Sequence[Circuit]] = None,
     ) -> OptimizationResult:
         """Run (or continue) one method's optimization stage.
 
@@ -233,6 +272,12 @@ class Session:
         evaluation is bit-identical to serial, a run may be paused
         under one ``jobs`` value and resumed under another without
         changing a single bit of the result.
+
+        ``seeds`` (typically :meth:`warm_start` output) are folded into
+        a fresh run's initial population by methods that support it.
+        Seeding deliberately changes the search trajectory, so it is
+        opt-in per call and ignored when continuing a paused run (the
+        paused population already exists).
         """
         key = get_method(method).name
         pending = self._pending.pop(key, None)
@@ -241,6 +286,8 @@ class Session:
         else:
             optimizer = self.optimizer(method, config)
             state = None
+            if seeds:
+                optimizer.seed_circuits = list(seeds)
         if jobs is not None and hasattr(optimizer.config, "jobs"):
             # Replace, don't mutate: the config may be the caller's
             # object (or a checkpointed one) and a per-call override
@@ -296,6 +343,7 @@ class Session:
             sta=self.ctx.sta,
             max_moves=cfg.max_sizing_moves,
         )
+        self._record_run(get_method(method).name, opt_result)
         return FlowResult(
             method=get_method(method).name,
             circuit=post.circuit,
@@ -348,6 +396,103 @@ class Session:
         }
 
     # ------------------------------------------------------------------
+    # the run catalog / warm starts
+    # ------------------------------------------------------------------
+    def _record_run(
+        self, method: str, opt_result: OptimizationResult
+    ) -> None:
+        """Add a completed run's Pareto front to the lake's catalog."""
+        cache = self.cache
+        if cache is None or not opt_result.completed:
+            return
+        evals = list(opt_result.population)
+        best = opt_result.best
+        if best is not None and all(ev is not best for ev in evals):
+            evals.append(best)
+        feasible = [
+            ev for ev in evals if ev.error <= self.config.error_bound
+        ]
+        if not feasible:
+            return
+        from .core.pareto import non_dominated_sort
+
+        fronts = non_dominated_sort([(ev.fd, ev.fa) for ev in feasible])
+        chosen = [feasible[i] for i in fronts[0]][:16] if fronts else []
+        if not chosen:
+            return
+        record = RunRecord(
+            reference_key=self.ctx.reference.full_structure_key(),
+            method=method,
+            error_mode=self.config.error_mode.value,
+            error_bound=self.config.error_bound,
+            seed=self.config.seed,
+            created_at=time.time(),
+            front=[
+                (
+                    ev.circuit,
+                    {
+                        "fitness": ev.fitness,
+                        "fd": ev.fd,
+                        "fa": ev.fa,
+                        "error": ev.error,
+                        "area": ev.area,
+                        "depth": ev.depth,
+                    },
+                )
+                for ev in chosen
+            ],
+            config_summary={
+                "effort": self.config.effort,
+                "num_vectors": self.config.num_vectors,
+                "wd": self.config.wd,
+            },
+        )
+        try:
+            cache.catalog.add(record)
+        except OSError as exc:  # pragma: no cover - disk-full class
+            warnings.warn(
+                f"evaluation lake: could not record run ({exc})",
+                RuntimeWarning,
+            )
+
+    def warm_start(
+        self,
+        method: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Circuit]:
+        """Seed circuits from past runs of this circuit family.
+
+        Queries the lake's catalog for runs whose reference circuit has
+        this session's structure digest and returns their Pareto-front
+        circuits, newest run first, deduplicated by full structure.
+        Hand the result to ``optimize(seeds=...)`` to fold it into the
+        initial population.  Empty when no lake is attached or no prior
+        run matches.
+
+        Args:
+            method: restrict to fronts recorded by one method.
+            limit: maximum number of circuits to return.
+        """
+        cache = self.cache
+        if cache is None:
+            return []
+        ref_key = self.ctx.reference.full_structure_key()
+        out: List[Circuit] = []
+        seen: set = set()
+        for record in cache.catalog.runs(
+            reference_key=ref_key, method=method
+        ):
+            for circuit, _metrics in record.front:
+                key = circuit.full_structure_key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(circuit)
+                if limit is not None and len(out) >= limit:
+                    return out
+        return out
+
+    # ------------------------------------------------------------------
     # checkpoint / resume
     # ------------------------------------------------------------------
     def checkpoint(self, path: str) -> None:
@@ -356,10 +501,12 @@ class Session:
         The evaluation context itself is *not* serialized: it is fully
         determined by (circuit, library, config seed/vectors/mode) and
         is rebuilt bit-identically on :meth:`resume`.  What is stored:
-        the reference circuit, the flow config, the library, and per
-        paused run its method config plus the whole
-        :class:`OptimizerState` — population, archive, history and the
-        exact RNG state.
+        the reference circuit, the flow config, the library, per paused
+        run its method config plus the whole :class:`OptimizerState` —
+        population, archive, history and the exact RNG state — and the
+        cache configuration, so a resumed session reattaches the same
+        evaluation lake (resume + warm cache is still bit-identical to
+        the uninterrupted run, because cached results are).
         """
         pending = {
             key: (optimizer.config, state)
@@ -371,6 +518,7 @@ class Session:
             "config": self.config,
             "library": self.library,
             "pending": pending,
+            "cache": self._cache_spec,
         }
         with open(path, "wb") as f:
             pickle.dump(payload, f)
@@ -401,6 +549,13 @@ class Session:
             depth_mode=config.depth_mode,
         )
         session = cls(circuit, config=config, library=library, ctx=ctx)
+        spec = payload.get("cache")
+        if spec:
+            # Reattach the same evaluation lake the checkpointed session
+            # used; cached hits are bit-identical, so resume + warm cache
+            # replays the same trajectory as an uninterrupted run.
+            session.ctx.lake = open_cache(spec["cache_dir"])
+            session._cache_spec = dict(spec)
         for key, (method_config, state) in payload["pending"].items():
             optimizer = get_method(key).build(
                 ctx, config, config=method_config
