@@ -25,11 +25,16 @@ Examples::
     # inspect / maintain a persistent evaluation cache
     python -m repro cache stats ./lake
     python -m repro cache compact ./lake --max-bytes 100000000
+
+    # run the long-lived optimization service, then load-test it
+    python -m repro serve --port 8355 --capacity 4
+    python -m repro loadgen --spawn --clients 4 --requests 2
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
@@ -39,9 +44,13 @@ from .cells import default_library
 from .core.protocol import IterationEvent, RunCallback
 from .netlist import parse_verilog, write_verilog
 from .registry import available_methods, method_names
-from .session import FlowConfig, FlowResult, Session
+from .session import FlowConfig, FlowResult, RunInterrupted, Session
 from .sim import ErrorMode
 from .sta import STAEngine, format_path, format_summary
+
+#: Conventional exit code for "terminated by an interrupt" (128+SIGINT),
+#: returned after a graceful pause instead of a mid-iteration death.
+EXIT_INTERRUPTED = 130
 
 
 class ProgressView(RunCallback):
@@ -95,6 +104,52 @@ class ProgressView(RunCallback):
 def _read_circuit(path: str):
     with open(path) as f:
         return parse_verilog(f.read())
+
+
+class _InterruptGuard:
+    """SIGINT/SIGTERM → cooperative pause; a second signal force-quits.
+
+    The first signal asks the session's running optimizer to stop at
+    the next iteration boundary (:meth:`Session.interrupt`), so a
+    ``--checkpoint`` run writes a resumable checkpoint and the worker
+    pool is torn down through the ordinary ``finally`` path instead of
+    dying mid-iteration with leaked shard processes.  A second signal —
+    or a first one arriving while nothing interruptible runs — raises
+    :class:`KeyboardInterrupt` as before (the ``finally`` still closes
+    the session).  Handlers are restored on exit; installation is
+    skipped quietly off the main thread, where signals cannot be bound.
+    """
+
+    def __init__(self, session: Session):
+        self.session = session
+        self.interrupted = False
+        self._installed: List = []
+
+    def __enter__(self) -> "_InterruptGuard":
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous = signal.signal(sig, self._handle)
+            except (ValueError, OSError):  # non-main thread / platform
+                continue
+            self._installed.append((sig, previous))
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for sig, previous in self._installed:
+            signal.signal(sig, previous)
+
+    def _handle(self, signum, frame) -> None:
+        first = not self.interrupted
+        self.interrupted = True
+        if first and self.session.interrupt():
+            print(
+                "interrupt: pausing at the next iteration boundary "
+                "(signal again to force quit)",
+                file=sys.stderr,
+                flush=True,
+            )
+            return
+        raise KeyboardInterrupt
 
 
 #: (flag, FlowConfig default) pairs; parser defaults are None so that
@@ -181,32 +236,44 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         session = Session(_read_circuit(args.netlist), _flow_config(args))
         method = args.method or "Ours"
 
-    opt_result = None
-    if args.stop_after is not None:
-        partial = session.optimize(
-            method,
-            callbacks=callbacks,
-            stop_after=args.stop_after,
-            jobs=args.jobs,
-        )
-        if not partial.completed:
-            session.checkpoint(args.checkpoint)
-            session.close()
-            done = partial.history[-1].iteration if partial.history else 0
-            print(
-                f"paused after {done} iterations; "
-                f"checkpoint written to {args.checkpoint}"
-            )
-            return 0
-        # The budget ran out before stop_after: the optimization is
-        # already complete, so hand it to run() instead of re-running.
-        opt_result = partial
-
-    result = session.run(
-        method, callbacks=callbacks, optimization=opt_result,
-        jobs=args.jobs,
-    )
-    session.close()
+    # Everything below runs under try/finally: an exception or signal
+    # mid-run must still tear the shard worker pool down and flush the
+    # lake stats ledger (session.close), never leak daemon workers.
+    try:
+        with _InterruptGuard(session) as guard:
+            opt_result = None
+            if args.stop_after is not None:
+                partial = session.optimize(
+                    method,
+                    callbacks=callbacks,
+                    stop_after=args.stop_after,
+                    jobs=args.jobs,
+                )
+                if not partial.completed:
+                    session.checkpoint(args.checkpoint)
+                    done = (
+                        partial.history[-1].iteration
+                        if partial.history
+                        else 0
+                    )
+                    print(
+                        f"paused after {done} iterations; "
+                        f"checkpoint written to {args.checkpoint}"
+                    )
+                    return EXIT_INTERRUPTED if guard.interrupted else 0
+                # The budget ran out before stop_after: the optimization
+                # is already complete, so hand it to run() instead of
+                # re-running.
+                opt_result = partial
+            try:
+                result = session.run(
+                    method, callbacks=callbacks, optimization=opt_result,
+                    jobs=args.jobs,
+                )
+            except RunInterrupted:
+                return _pause_checkpoint(session, args.checkpoint)
+    finally:
+        session.close()
     mode_label = session.config.error_mode.value
     _print_flow_result(result, mode_label)
     if args.checkpoint:
@@ -219,31 +286,63 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pause_checkpoint(session: Session, checkpoint: Optional[str]) -> int:
+    """A signal paused a run: persist it if a checkpoint path exists."""
+    if checkpoint:
+        session.checkpoint(checkpoint)
+        print(
+            f"interrupted; paused run checkpointed to {checkpoint} "
+            "(resume with --resume)",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            "interrupted; no --checkpoint path given, "
+            "paused progress discarded",
+            file=sys.stderr,
+        )
+    return EXIT_INTERRUPTED
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .core.parallel import resolve_jobs
 
     session = Session(_read_circuit(args.netlist), _flow_config(args))
     methods = args.methods or list(method_names())
     mode_label = session.config.error_mode.value
-    if resolve_jobs(args.jobs) > 1 and len(methods) > 1:
-        # Whole methods run concurrently; per-iteration streaming
-        # cannot cross process boundaries, so results print at the end.
-        print(
-            f"running {len(methods)} methods across worker processes",
-            file=sys.stderr,
-        )
-        results = session.compare(methods, jobs=args.jobs)
-        for method in methods:
-            _print_flow_result(results[method], mode_label)
+    try:
+        with _InterruptGuard(session) as guard:
+            if resolve_jobs(args.jobs) > 1 and len(methods) > 1:
+                # Whole methods run concurrently; per-iteration
+                # streaming cannot cross process boundaries, so results
+                # print at the end.
+                print(
+                    f"running {len(methods)} methods "
+                    "across worker processes",
+                    file=sys.stderr,
+                )
+                results = session.compare(methods, jobs=args.jobs)
+                for method in methods:
+                    _print_flow_result(results[method], mode_label)
+                return 0
+            callbacks = None if args.quiet else ProgressView()
+            for method in methods:
+                if guard.interrupted:
+                    return EXIT_INTERRUPTED
+                try:
+                    result = session.run(
+                        method, callbacks=callbacks, jobs=args.jobs
+                    )
+                except RunInterrupted:
+                    print(
+                        f"compare: interrupted during {method}; "
+                        "remaining methods skipped",
+                        file=sys.stderr,
+                    )
+                    return EXIT_INTERRUPTED
+                _print_flow_result(result, mode_label)
+    finally:
         session.close()
-        return 0
-    callbacks = None if args.quiet else ProgressView()
-    for method in methods:
-        result = session.run(
-            method, callbacks=callbacks, jobs=args.jobs
-        )
-        _print_flow_result(result, mode_label)
-    session.close()
     return 0
 
 
@@ -305,6 +404,18 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         else:
             print(f"{key}: {value}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import serve_main
+
+    return serve_main(args)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .serve.loadgen import loadgen_main
+
+    return loadgen_main(args)
 
 
 def _add_flow_arguments(parser: argparse.ArgumentParser) -> None:
@@ -423,6 +534,85 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser("report", help="STA report for a netlist")
     p_rep.add_argument("netlist", help="input .v file")
     p_rep.set_defaults(func=_cmd_report)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the asyncio optimization service (NDJSON/SSE streaming)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=8355,
+        help="TCP port (0 picks a free one and prints it)",
+    )
+    p_srv.add_argument(
+        "--capacity", type=int, default=2,
+        help="concurrent running jobs (default: 2)",
+    )
+    p_srv.add_argument(
+        "--max-pending", type=int, default=64,
+        help="bounded run-queue depth; submits beyond it get 503",
+    )
+    p_srv.add_argument(
+        "--jobs", type=int, default=None,
+        help="shard workers per job (default: job spec, then REPRO_JOBS)",
+    )
+    p_srv.add_argument(
+        "--spool", default=None,
+        help=(
+            "directory for eviction/drain checkpoints "
+            "(default: a temp dir)"
+        ),
+    )
+    p_srv.add_argument(
+        "--cache-dir", default=None,
+        help="evaluation-lake directory shared by every job",
+    )
+    p_srv.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-request log on stderr",
+    )
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive a repro serve daemon with concurrent clients",
+    )
+    p_load.add_argument(
+        "--url", default="http://127.0.0.1:8355",
+        help="server base URL (ignored with --spawn)",
+    )
+    p_load.add_argument("--clients", type=int, default=4)
+    p_load.add_argument(
+        "--requests", type=int, default=2,
+        help="jobs submitted per client",
+    )
+    p_load.add_argument("--bench", default="Adder", choices=sorted(SUITE))
+    p_load.add_argument("--method", default="Ours")
+    p_load.add_argument("--mode", default="er", choices=("er", "nmed"))
+    p_load.add_argument("--bound", type=float, default=0.05)
+    p_load.add_argument("--vectors", type=int, default=64)
+    p_load.add_argument("--effort", type=float, default=0.1)
+    p_load.add_argument(
+        "--seed-base", type=int, default=0,
+        help="job i gets seed seed_base + i (distinct, deterministic work)",
+    )
+    p_load.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="per-job completion deadline in seconds",
+    )
+    p_load.add_argument(
+        "--spawn", action="store_true",
+        help="start (and cleanly SIGTERM) a throwaway server subprocess",
+    )
+    p_load.add_argument(
+        "--capacity", type=int, default=4,
+        help="spawned server's concurrent-job capacity",
+    )
+    p_load.add_argument(
+        "--server-jobs", type=int, default=None,
+        help="spawned server's per-job shard workers",
+    )
+    p_load.set_defaults(func=_cmd_loadgen)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or maintain a persistent evaluation cache"

@@ -56,7 +56,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import traceback
+import warnings
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait as connection_wait
@@ -108,6 +110,14 @@ def resolve_jobs(jobs: Optional[int] = None, config: Any = None) -> int:
         try:
             return max(1, int(env))
         except ValueError:
+            # Never silently lose parallelism: a typo'd REPRO_JOBS in a
+            # CI matrix would otherwise quietly run everything serial.
+            warnings.warn(
+                f"REPRO_JOBS={env!r} is not an integer; "
+                "falling back to serial evaluation",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return 1
     return 1
 
@@ -473,6 +483,13 @@ class ShardDispatcher:
         self.jobs = jobs
         self.cache_limit = max(cache_limit, 8)
         self._closed = False
+        #: Serializes pool access: the pipes, routing tables and cache
+        #: mirrors assume one dispatch in flight, so concurrent callers
+        #: (serve-mode jobs sharing a pool, a signal-driven close racing
+        #: an evaluation) queue here instead of interleaving messages.
+        #: Reentrant because the error path closes from inside a
+        #: dispatch.
+        self._lock = threading.RLock()
         self._ref_key = full_structure_key(ctx.reference)
         #: Mirror of each worker's cache keys, in insertion (FIFO) order.
         self._known: List["OrderedDict[bytes, None]"] = [
@@ -506,9 +523,10 @@ class ShardDispatcher:
         steady-state throughput) and to surface context-build errors
         eagerly; :meth:`evaluate_items` works without it.
         """
-        for w in range(self.jobs):
-            self._send(w, ("ping",))
-        self._collect(range(self.jobs), out=None)
+        with self._lock:
+            for w in range(self.jobs):
+                self._send(w, ("ping",))
+            self._collect(range(self.jobs), out=None)
 
     # ------------------------------------------------------------------
     # planning
@@ -687,13 +705,16 @@ class ShardDispatcher:
         """
         if not items:
             return []
-        plans = self._plan(items, force_full)
-        out: List[Optional[CircuitEval]] = [None] * len(items)
-        active = [w for w, plan in enumerate(plans) if not plan.empty]
-        for w in active:
-            plan = plans[w]
-            self._send(w, ("eval", plan.evicts, plan.groups, plan.singles))
-        self._collect(active, out)
+        with self._lock:
+            plans = self._plan(items, force_full)
+            out: List[Optional[CircuitEval]] = [None] * len(items)
+            active = [w for w, plan in enumerate(plans) if not plan.empty]
+            for w in active:
+                plan = plans[w]
+                self._send(
+                    w, ("eval", plan.evicts, plan.groups, plan.singles)
+                )
+            self._collect(active, out)
         return out  # type: ignore[return-value]
 
     def run_methods(
@@ -708,64 +729,66 @@ class ShardDispatcher:
         Individual runs are seeded and independent, so concurrency
         cannot change any result.
         """
-        pending = deque(methods)
-        inflight: Dict[int, str] = {}
-        results: Dict[str, Any] = {}
-        conn_to_worker = {
-            self._workers[w][1]: w for w in range(self.jobs)
-        }
-        for w in range(self.jobs):
-            if not pending:
-                break
-            method = pending.popleft()
-            self._send(w, ("run", method, flow_config))
-            inflight[w] = method
-        while inflight:
-            ready = connection_wait(
-                [self._workers[w][1] for w in inflight], timeout=0.1
-            )
-            if not ready:
-                # No data: make sure everyone we wait on is still alive
-                # (a dead worker's pipe may be held open by siblings).
-                dead = [
-                    w
-                    for w in inflight
-                    if not self._workers[w][0].is_alive()
-                    and not self._workers[w][1].poll(0)
-                ]
-                if dead:
-                    w = dead[0]
-                    method = inflight.pop(w)
-                    self.close(force=True)
-                    raise RuntimeError(
-                        f"parallel worker {w} died running {method!r}"
-                    )
-                continue
-            for conn in ready:
-                w = conn_to_worker[conn]
-                method = inflight.pop(w)
-                try:
-                    kind, payload = conn.recv()
-                except (EOFError, OSError) as exc:
-                    self.close(force=True)
-                    raise RuntimeError(
-                        f"parallel worker {w} died running {method!r}"
-                    ) from exc
-                if kind == "err":
-                    exc, tb = payload
-                    self.close(force=True)
-                    if tb and hasattr(exc, "add_note"):
-                        exc.add_note(
-                            "raised in a shard worker; worker "
-                            "traceback:\n" + tb
+        with self._lock:
+            pending = deque(methods)
+            inflight: Dict[int, str] = {}
+            results: Dict[str, Any] = {}
+            conn_to_worker = {
+                self._workers[w][1]: w for w in range(self.jobs)
+            }
+            for w in range(self.jobs):
+                if not pending:
+                    break
+                method = pending.popleft()
+                self._send(w, ("run", method, flow_config))
+                inflight[w] = method
+            while inflight:
+                ready = connection_wait(
+                    [self._workers[w][1] for w in inflight], timeout=0.1
+                )
+                if not ready:
+                    # No data: make sure everyone we wait on is still
+                    # alive (a dead worker's pipe may be held open by
+                    # siblings).
+                    dead = [
+                        w
+                        for w in inflight
+                        if not self._workers[w][0].is_alive()
+                        and not self._workers[w][1].poll(0)
+                    ]
+                    if dead:
+                        w = dead[0]
+                        method = inflight.pop(w)
+                        self.close(force=True)
+                        raise RuntimeError(
+                            f"parallel worker {w} died running {method!r}"
                         )
-                    raise exc
-                results[method] = payload
-                if pending:
-                    nxt = pending.popleft()
-                    self._send(w, ("run", nxt, flow_config))
-                    inflight[w] = nxt
-        return {m: results[m] for m in methods}
+                    continue
+                for conn in ready:
+                    w = conn_to_worker[conn]
+                    method = inflight.pop(w)
+                    try:
+                        kind, payload = conn.recv()
+                    except (EOFError, OSError) as exc:
+                        self.close(force=True)
+                        raise RuntimeError(
+                            f"parallel worker {w} died running {method!r}"
+                        ) from exc
+                    if kind == "err":
+                        exc, tb = payload
+                        self.close(force=True)
+                        if tb and hasattr(exc, "add_note"):
+                            exc.add_note(
+                                "raised in a shard worker; worker "
+                                "traceback:\n" + tb
+                            )
+                        raise exc
+                    results[method] = payload
+                    if pending:
+                        nxt = pending.popleft()
+                        self._send(w, ("run", nxt, flow_config))
+                        inflight[w] = nxt
+            return {m: results[m] for m in methods}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -777,24 +800,25 @@ class ShardDispatcher:
         (the error path) skips the goodbye and terminates stragglers so
         a poisoned pool can never leave hung processes behind.
         """
-        if self._closed:
-            return
-        self._closed = True
-        for _, conn in self._workers:
-            if not force:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for _, conn in self._workers:
+                if not force:
+                    try:
+                        conn.send(("stop",))
+                    except Exception:
+                        pass
                 try:
-                    conn.send(("stop",))
+                    conn.close()
                 except Exception:
                     pass
-            try:
-                conn.close()
-            except Exception:
-                pass
-        for proc, _ in self._workers:
-            proc.join(timeout=0.2 if force else 2.0)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=2.0)
+            for proc, _ in self._workers:
+                proc.join(timeout=0.2 if force else 2.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=2.0)
 
     def __enter__(self) -> "ShardDispatcher":
         return self
@@ -809,31 +833,40 @@ class ShardDispatcher:
             pass
 
 
+#: Guards the per-context dispatcher slot: two threads resolving
+#: ``jobs > 1`` on one context must share one pool, not fork two.
+_DISPATCHER_LOCK = threading.Lock()
+
+
 def get_dispatcher(ctx: EvalContext, jobs: int) -> ShardDispatcher:
     """The context's dispatcher, (re)built when absent, closed or resized.
 
     The dispatcher lives on the :class:`EvalContext` so every consumer
     of one context — optimizer generations, ``Session.evaluate_batch``,
     ``Session.compare`` — shares one warm pool, and the worker-side
-    parent caches stay hot across generations.
+    parent caches stay hot across generations.  Thread-safe: concurrent
+    callers get the same pool, and each dispatch serializes on the
+    dispatcher's own lock.
     """
-    existing = getattr(ctx, "_dispatcher", None)
-    if (
-        existing is not None
-        and not existing.closed
-        and existing.jobs == jobs
-    ):
-        return existing
-    if existing is not None:
-        existing.close()
-    dispatcher = ShardDispatcher(ctx, jobs)
-    ctx._dispatcher = dispatcher
-    return dispatcher
+    with _DISPATCHER_LOCK:
+        existing = getattr(ctx, "_dispatcher", None)
+        if (
+            existing is not None
+            and not existing.closed
+            and existing.jobs == jobs
+        ):
+            return existing
+        if existing is not None:
+            existing.close()
+        dispatcher = ShardDispatcher(ctx, jobs)
+        ctx._dispatcher = dispatcher
+        return dispatcher
 
 
 def close_dispatcher(ctx: EvalContext) -> None:
     """Close and detach the context's dispatcher, if any."""
-    existing = getattr(ctx, "_dispatcher", None)
-    if existing is not None:
-        existing.close()
-        ctx._dispatcher = None
+    with _DISPATCHER_LOCK:
+        existing = getattr(ctx, "_dispatcher", None)
+        if existing is not None:
+            existing.close()
+            ctx._dispatcher = None

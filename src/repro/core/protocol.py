@@ -221,6 +221,9 @@ class Optimizer(ABC):
         self.error_bound = error_bound
         self.config = config
         self._evaluations = 0
+        #: Cooperative-stop flag (see :meth:`request_stop`); checked at
+        #: every iteration boundary of the driver loop.
+        self._stop_requested = False
         #: The state of the most recent ``optimize()`` call; the session
         #: reads this back to checkpoint a paused run.
         self.last_state: Optional[OptimizerState] = None
@@ -331,6 +334,18 @@ class Optimizer(ABC):
     # ------------------------------------------------------------------
     # the shared driver
     # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Ask a running :meth:`optimize` loop to pause cooperatively.
+
+        Safe to call from any thread (or a signal handler): the flag is
+        checked at the next iteration boundary, so the loop returns a
+        partial result exactly as ``stop_after`` would — ``last_state``
+        holds a consistent snapshot that checkpoints and resumes
+        bit-identically.  This is what Ctrl-C in the CLI and run
+        eviction in ``repro serve`` are built on.
+        """
+        self._stop_requested = True
+
     def start(self) -> OptimizerState:
         """Build (but do not run) iteration-zero state."""
         self._evaluations = 0
@@ -360,6 +375,7 @@ class Optimizer(ABC):
             ``best=None`` when nothing feasible was found yet.
         """
         cb = as_callback(callbacks)
+        self._stop_requested = False
         begin = time.perf_counter()
         if state is None:
             state = self.start()
@@ -368,6 +384,8 @@ class Optimizer(ABC):
         cb.on_run_start(self.method_name, state.limit, state)
         while not state.exhausted:
             if stop_after is not None and state.iteration >= stop_after:
+                break
+            if self._stop_requested:
                 break
             stats = self._step(state)
             state.evaluations = self._evaluations

@@ -27,6 +27,7 @@ from .cache import (
     DEFAULT_MEMORY_BUDGET,
     EvalCache,
     context_cache,
+    flush_open_caches,
     open_cache,
     resolve_cache_dir,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "RunRecord",
     "context_cache",
     "context_digests",
+    "flush_open_caches",
     "library_digest",
     "open_cache",
     "resolve_cache_dir",

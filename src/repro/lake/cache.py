@@ -40,6 +40,7 @@ import atexit
 import json
 import os
 import pickle
+import threading
 import time
 import warnings
 from collections import OrderedDict
@@ -501,6 +502,13 @@ class EvalCache:
 #: Process-local cache registry: one ``EvalCache`` per lake directory.
 _OPEN: Dict[str, EvalCache] = {}
 
+#: Guards the registry and the lazy ``ctx.lake`` resolution below:
+#: serve-mode jobs share one process and open/resolve caches from
+#: concurrent threads, and two racing opens must not build two
+#: instances (two indexes, two LRUs, double-counted stats) for one
+#: directory.
+_OPEN_LOCK = threading.Lock()
+
 
 def open_cache(path: str, **knobs: Any) -> EvalCache:
     """The process's shared :class:`EvalCache` for ``path``.
@@ -508,14 +516,29 @@ def open_cache(path: str, **knobs: Any) -> EvalCache:
     Sharing one instance per directory keeps the index, the LRU and the
     hit/miss counters coherent across every consumer in the process
     (sessions, optimizers, the batch evaluator).  ``knobs`` apply only
-    when this call creates the instance.
+    when this call creates the instance.  Thread-safe: concurrent
+    callers for one directory always receive the same instance.
     """
+    with _OPEN_LOCK:
+        return _open_locked(path, **knobs)
+
+
+def _open_locked(path: str, **knobs: Any) -> EvalCache:
+    """Registry lookup/creation; caller holds ``_OPEN_LOCK``."""
     key = os.path.abspath(path)
     cache = _OPEN.get(key)
     if cache is None:
         cache = EvalCache(key, **knobs)
         _OPEN[key] = cache
     return cache
+
+
+def flush_open_caches() -> None:
+    """Flush every open cache's stats ledger (daemon shutdown hook)."""
+    with _OPEN_LOCK:
+        caches = list(_OPEN.values())
+    for cache in caches:
+        cache.flush_stats()
 
 
 def resolve_cache_dir(
@@ -537,11 +560,16 @@ def context_cache(ctx: Any) -> Optional[EvalCache]:
 
     ``ctx.lake`` is tri-state: an :class:`EvalCache` (attached), ``False``
     (caching explicitly disabled — the env is *not* consulted), or
-    ``None`` (unset: resolve the environment once and memoize).
+    ``None`` (unset: resolve the environment once and memoize).  The
+    lazy mutation is lock-protected (double-checked) so concurrent
+    jobs sharing one context resolve the environment exactly once.
     """
     lake = getattr(ctx, "lake", None)
     if lake is None:
-        env = os.environ.get("REPRO_CACHE", "").strip()
-        lake = open_cache(env) if env else False
-        ctx.lake = lake
+        with _OPEN_LOCK:
+            lake = getattr(ctx, "lake", None)
+            if lake is None:
+                env = os.environ.get("REPRO_CACHE", "").strip()
+                lake = _open_locked(env) if env else False
+                ctx.lake = lake
     return lake or None

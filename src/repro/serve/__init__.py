@@ -1,0 +1,32 @@
+"""``repro serve`` — the asyncio optimization service.
+
+The daemon (:mod:`repro.serve.server`) accepts concurrent optimize and
+compare jobs over a minimal HTTP/JSON protocol and streams per-iteration
+:class:`~repro.core.protocol.RunCallback` events back live; the engine
+(:mod:`repro.serve.service`) schedules jobs onto per-job sessions with a
+bounded queue and uses checkpoint/resume as its eviction story, so serve
+results are bit-identical to serial ``Session.run``.  See the README's
+"Serving" section for the protocol and examples.
+"""
+
+from .client import ServeClient, ServeError
+from .loadgen import LoadResult, loadgen_main, run_load
+from .protocol import JobSpec, SpecError
+from .server import ServeApp, serve_main
+from .service import Job, OptimizationService, QueueFull, ServiceClosed
+
+__all__ = [
+    "Job",
+    "JobSpec",
+    "LoadResult",
+    "OptimizationService",
+    "QueueFull",
+    "ServeApp",
+    "ServeClient",
+    "ServeError",
+    "ServiceClosed",
+    "SpecError",
+    "loadgen_main",
+    "run_load",
+    "serve_main",
+]

@@ -1,0 +1,142 @@
+"""A minimal blocking client for the ``repro serve`` daemon.
+
+Built on :mod:`http.client` (stdlib only, like the server) so scripts,
+tests and the load generator can talk to a daemon without pulling in an
+HTTP library::
+
+    from repro.serve import JobSpec, ServeClient
+
+    client = ServeClient("http://127.0.0.1:8355")
+    job = client.submit(JobSpec(bench="Adder", method="Ours"))
+    for event in client.events(job["id"]):
+        if event["type"] == "iteration":
+            print(event["iteration"], event["best_fitness"])
+        elif event["type"] == "result":
+            netlist = event["netlist"]
+
+:meth:`ServeClient.events` streams the job's NDJSON event log — replayed
+from the first event, live from then on — and the generator ends at the
+``end`` marker.  :meth:`ServeClient.run` is the one-call convenience:
+submit, stream to completion, return ``(final_state, events)``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from .protocol import JobSpec
+
+
+class ServeError(RuntimeError):
+    """A non-2xx daemon response; carries the HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Blocking per-call client (one connection per request, like the
+    server's one-request-per-connection protocol)."""
+
+    def __init__(self, url: str, timeout: float = 300.0):
+        parts = urlsplit(url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in {url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8355
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        stream: bool = False,
+        headers: Optional[Dict[str, str]] = None,
+    ):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        payload = (
+            json.dumps(body).encode() if body is not None else None
+        )
+        conn.request(
+            method,
+            path,
+            body=payload,
+            headers={"Content-Type": "application/json", **(headers or {})},
+        )
+        resp = conn.getresponse()
+        if resp.status >= 400:
+            try:
+                message = json.loads(resp.read()).get("error", "")
+            except Exception:  # noqa: BLE001 - error body is best-effort
+                message = resp.reason
+            conn.close()
+            raise ServeError(resp.status, message)
+        if stream:
+            return conn, resp  # caller iterates + closes
+        data = json.loads(resp.read())
+        conn.close()
+        return data
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def methods(self) -> List[str]:
+        return self._request("GET", "/methods")["methods"]
+
+    def submit(self, spec: JobSpec) -> Dict[str, Any]:
+        """POST one job; returns its snapshot (``id``, ``state``, ...)."""
+        return self._request("POST", "/jobs", body=spec.to_payload())
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream a job's events (replay + live) until ``end``."""
+        conn, resp = self._request(
+            "GET", f"/jobs/{job_id}/events", stream=True
+        )
+        try:
+            for raw in resp:  # NDJSON: one event per line
+                line = raw.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                yield event
+                if event.get("type") == "end":
+                    return
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def run(
+        self, spec: JobSpec
+    ) -> Tuple[str, List[Dict[str, Any]]]:
+        """Submit and stream to completion.
+
+        Returns ``(final_state, events)`` where ``final_state`` is the
+        ``end`` event's job state (``done``/``failed``/``cancelled``)
+        and ``events`` is the complete ordered event log, including one
+        ``result`` event per finished method with the final netlist.
+        """
+        job = self.submit(spec)
+        events = list(self.events(job["id"]))
+        final = "unknown"
+        for event in events:
+            if event.get("type") == "end":
+                final = event.get("state", "unknown")
+        return final, events

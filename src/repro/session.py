@@ -68,6 +68,16 @@ from .sim import ErrorMode
 CHECKPOINT_FORMAT = 1
 
 
+class RunInterrupted(RuntimeError):
+    """A full flow run was cooperatively paused before completion.
+
+    Raised by :meth:`Session.run` when :meth:`Session.interrupt` paused
+    the optimization stage: there is no completed result to
+    post-optimize, but the paused state is on the session — checkpoint
+    it and resume later, or call :meth:`Session.optimize` to finish.
+    """
+
+
 @dataclass
 class FlowConfig:
     """Knobs of one flow run.
@@ -185,6 +195,10 @@ class Session:
             # REPRO_CACHE lazily (and memoizes the answer per context).
         #: Paused optimizer runs by canonical method name.
         self._pending: Dict[str, Tuple[Optimizer, OptimizerState]] = {}
+        #: The optimizer currently inside :meth:`optimize`, if any —
+        #: what :meth:`interrupt` signals.  Written only by the thread
+        #: running the optimization; read from any thread.
+        self._active: Optional[Optimizer] = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -295,12 +309,33 @@ class Session:
             optimizer.config = dataclasses.replace(
                 optimizer.config, jobs=jobs
             )
-        result = optimizer.optimize(
-            callbacks=callbacks, state=state, stop_after=stop_after
-        )
+        self._active = optimizer
+        try:
+            result = optimizer.optimize(
+                callbacks=callbacks, state=state, stop_after=stop_after
+            )
+        finally:
+            self._active = None
         if not result.completed and optimizer.last_state is not None:
             self._pending[key] = (optimizer, optimizer.last_state)
         return result
+
+    def interrupt(self) -> bool:
+        """Request a cooperative pause of the optimization in flight.
+
+        Safe from any thread or signal handler: sets the running
+        optimizer's stop flag, so :meth:`optimize` returns a partial
+        (``completed=False``) result at the next iteration boundary and
+        the paused state lands on the session — ready to
+        :meth:`checkpoint`.  Returns ``False`` when no optimization is
+        currently running (nothing to interrupt).  The CLI's Ctrl-C
+        handling and ``repro serve``'s run eviction both use this.
+        """
+        optimizer = self._active
+        if optimizer is None:
+            return False
+        optimizer.request_stop()
+        return True
 
     def run(
         self,
@@ -333,6 +368,14 @@ class Session:
             opt_result = self.optimize(
                 method, callbacks=callbacks, config=config, jobs=jobs
             )
+            if not opt_result.completed:
+                # interrupt() paused the stage mid-run; the state is in
+                # _pending, so the caller can checkpoint and resume.
+                raise RunInterrupted(
+                    f"optimization of {get_method(method).name!r} was "
+                    "interrupted before completion; checkpoint the "
+                    "session to keep the paused progress"
+                )
         area_con = (
             cfg.area_con if cfg.area_con is not None else self.ctx.area_ori
         )
@@ -567,16 +610,20 @@ class Session:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the session's parallel worker pool, if one exists.
+        """Release the session's external resources deterministically.
 
-        Serial sessions hold no external resources, so this is a no-op
-        for them; parallel runs spawn a per-context worker pool the
-        first time ``jobs > 1`` is resolved, and ``close`` (or use as a
-        context manager) releases it deterministically instead of
-        waiting for garbage collection.  The session stays usable —
+        Shuts down the parallel worker pool (if ``jobs > 1`` ever
+        spawned one) and flushes the attached evaluation lake's stats
+        ledger, so an interrupted or erroring run still tears down
+        cleanly — every CLI and serve-mode code path runs this in a
+        ``try/finally``.  Serial, cache-less sessions hold no external
+        resources, so this is then a no-op.  The session stays usable —
         the pool respawns on the next parallel call.
         """
         close_dispatcher(self.ctx)
+        lake = getattr(self.ctx, "lake", None)
+        if lake:  # False (disabled) and None (never resolved) skip
+            lake.flush_stats()
 
     def __enter__(self) -> "Session":
         return self

@@ -453,7 +453,10 @@ class TestJobsResolution:
 
     def test_env_garbage_degrades_to_serial(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "many")
-        assert resolve_jobs() == 1
+        # Degrades to serial, but loudly: misconfigured CI must not
+        # silently lose its parallelism.
+        with pytest.warns(RuntimeWarning, match="REPRO_JOBS='many'"):
+            assert resolve_jobs() == 1
 
     def test_workers_never_nest_pools(self, monkeypatch):
         monkeypatch.setattr(parallel_mod, "_IN_WORKER", True)

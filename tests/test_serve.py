@@ -1,0 +1,486 @@
+"""The optimization service: concurrency, streaming, bit-identity.
+
+The contract under test is the serve subsystem's whole reason to exist:
+results delivered through the daemon — including runs that were evicted
+to a checkpoint mid-flight and resumed later — are **bit-identical** to
+the same specs run serially through ``Session.run``, and shutting the
+daemon down at any point leaks neither worker processes nor unflushed
+state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from reference_circuits import build_adder
+
+from repro.core.protocol import RunCallback
+from repro.netlist import write_verilog
+from repro.serve import (
+    JobSpec,
+    OptimizationService,
+    ServeApp,
+    ServeClient,
+    ServeError,
+    SpecError,
+)
+from repro.session import FlowConfig, Session
+from repro.sim import ErrorMode
+
+ADDER4 = write_verilog(build_adder(4))
+
+#: Small-but-real flow knobs: enough iterations to observe streaming
+#: and interrupt mid-run, small enough for CI.
+QUICK = dict(vectors=64, effort=0.1, bound=0.05)
+
+
+def quick_spec(seed=0, **overrides) -> JobSpec:
+    payload = {"netlist": ADDER4, "method": "Ours", "seed": seed}
+    payload.update(QUICK)
+    payload.update(overrides)
+    return JobSpec.from_payload(payload)
+
+
+def serial_flow(spec: JobSpec):
+    """The ground truth: the same spec through a plain serial session."""
+    session = Session(spec.build_circuit(), spec.flow_config())
+    try:
+        return session.run(spec.method)
+    finally:
+        session.close()
+
+
+class _Recorder(RunCallback):
+    def __init__(self):
+        self.rows = []
+
+    def on_iteration(self, event) -> None:
+        self.rows.append(
+            (
+                event.iteration,
+                event.stats.best_fitness,
+                event.stats.best_error,
+                event.stats.evaluations,
+            )
+        )
+
+
+async def _drive(service: OptimizationService, specs, waiter=None):
+    """Submit specs and wait until every job is terminal."""
+    await service.start()
+    jobs = []
+    for spec in specs:
+        jobs.append(service.submit(spec))
+        if waiter is not None:
+            await waiter(jobs[-1])
+    deadline = time.monotonic() + 300
+    for job in jobs:
+        cursor = 0
+        while not job.terminal:
+            assert time.monotonic() < deadline, "serve job hung"
+            got = await job.wait_events(cursor)
+            cursor += len(got)
+    await service.shutdown()
+    return jobs
+
+
+def events_of(job, kind):
+    return [e for e in job.events if e["type"] == kind]
+
+
+# ----------------------------------------------------------------------
+# spec validation
+# ----------------------------------------------------------------------
+class TestJobSpec:
+    def test_roundtrip(self):
+        spec = quick_spec(seed=7, tag="x")
+        again = JobSpec.from_payload(spec.to_payload())
+        assert again == spec
+
+    @pytest.mark.parametrize(
+        "payload, needle",
+        [
+            ({}, "exactly one of"),
+            ({"netlist": "x", "bench": "Adder"}, "exactly one of"),
+            ({"bench": "NoSuch"}, "unknown benchmark"),
+            ({"netlist": "x", "mode": "med"}, "mode must be"),
+            ({"netlist": "x", "vectors": "lots"}, "must be a int"),
+            ({"netlist": "x", "method": "NoSuch"}, "unknown method"),
+            (
+                {"netlist": "x", "kind": "compare", "methods": []},
+                "non-empty list",
+            ),
+            ([1, 2], "JSON object"),
+        ],
+    )
+    def test_rejects(self, payload, needle):
+        with pytest.raises(SpecError, match=needle):
+            JobSpec.from_payload(payload)
+
+    def test_flow_config_mapping(self):
+        spec = quick_spec(seed=3, mode="nmed", bound=0.02)
+        cfg = spec.flow_config()
+        assert cfg == FlowConfig(
+            error_mode=ErrorMode.NMED,
+            error_bound=0.02,
+            num_vectors=64,
+            effort=0.1,
+            seed=3,
+        )
+
+
+# ----------------------------------------------------------------------
+# the service engine (in-process, no HTTP)
+# ----------------------------------------------------------------------
+class TestService:
+    def test_serve_results_bit_identical_to_serial(self, tmp_path):
+        """A served job streams exactly what an in-process callback sees
+        and returns exactly what ``Session.run`` returns."""
+        spec = quick_spec(seed=5)
+        service = OptimizationService(
+            capacity=1, spool=str(tmp_path / "spool")
+        )
+        (job,) = asyncio.run(_drive(service, [spec]))
+        assert job.state == "done"
+
+        flow = serial_flow(spec)
+        (result,) = events_of(job, "result")
+        # The final netlist crosses the wire bit-identically.
+        assert result["netlist"] == write_verilog(flow.circuit)
+        assert result["error"] == flow.error
+        assert result["ratio_cpd"] == flow.ratio_cpd
+        assert result["evaluations"] == flow.optimization.evaluations
+        # And the live-streamed iteration stats equal the serial run's.
+        recorder = _Recorder()
+        session = Session(spec.build_circuit(), spec.flow_config())
+        try:
+            session.run(spec.method, callbacks=recorder)
+        finally:
+            session.close()
+        streamed = [
+            (
+                e["iteration"],
+                e["best_fitness"],
+                e["best_error"],
+                e["evaluations"],
+            )
+            for e in events_of(job, "iteration")
+        ]
+        assert streamed == recorder.rows
+
+    def test_concurrent_jobs_overlap_and_match_serial(self, tmp_path):
+        """capacity=2: two jobs actually run at the same time, and the
+        concurrency changes nothing about either result."""
+        specs = [quick_spec(seed=11), quick_spec(seed=12)]
+        service = OptimizationService(
+            capacity=2, spool=str(tmp_path / "spool")
+        )
+
+        async def wait_running(job):
+            cursor = 0
+            while job.state not in ("running",) and not job.terminal:
+                cursor += len(await job.wait_events(cursor))
+
+        jobs = asyncio.run(_drive(service, specs, waiter=wait_running))
+        assert [j.state for j in jobs] == ["done", "done"]
+        # Both wall-clock intervals overlap: true concurrency.
+        a, b = jobs
+        assert a.started_at < b.finished_at
+        assert b.started_at < a.finished_at
+        for job, spec in zip(jobs, specs):
+            flow = serial_flow(spec)
+            (result,) = events_of(job, "result")
+            assert result["netlist"] == write_verilog(flow.circuit)
+            assert result["error"] == flow.error
+
+    def test_eviction_resumes_bit_identically(
+        self, tmp_path, monkeypatch
+    ):
+        """The eviction story: a running job checkpointed mid-flight to
+        make room, then resumed, ends bit-identical to never having
+        been touched."""
+        from repro.serve import service as service_mod
+
+        long_spec = quick_spec(
+            seed=21, effort=0.4, vectors=128, tag="victim"
+        )
+        short_spec = quick_spec(seed=22)
+        service = OptimizationService(
+            capacity=1, spool=str(tmp_path / "spool")
+        )
+        # Hold the victim inside its run until the newcomer has been
+        # submitted (and the eviction requested) — without this gate a
+        # fast run (e.g. under a warm REPRO_CACHE) can finish before
+        # the preemption lands and the test goes flaky.
+        gate = threading.Event()
+        orig = service_mod._StreamCallback.on_iteration
+
+        def gated(cb_self, event):
+            orig(cb_self, event)
+            if cb_self.job.spec.tag == "victim" and not gate.is_set():
+                gate.wait(timeout=60)
+
+        monkeypatch.setattr(
+            service_mod._StreamCallback, "on_iteration", gated
+        )
+
+        async def scenario():
+            await service.start()
+            victim = service.submit(long_spec)
+            # Let it get properly under way (≥1 iteration streamed).
+            cursor = 0
+            while not events_of(victim, "iteration"):
+                cursor += len(await victim.wait_events(cursor))
+            newcomer = service.submit(short_spec)  # requests eviction
+            gate.set()  # release the victim to hit the stop flag
+            for job in (victim, newcomer):
+                cursor = 0
+                while not job.terminal:
+                    cursor += len(await job.wait_events(cursor))
+            await service.shutdown()
+            return victim, newcomer
+
+        victim, newcomer = asyncio.run(scenario())
+        assert victim.state == "done"
+        assert newcomer.state == "done"
+        assert victim.evictions >= 1
+        assert victim.checkpoint_path is not None
+        # The run was split across two sessions via a spool checkpoint,
+        # yet the outcome is the uninterrupted serial run's, bit for bit.
+        flow = serial_flow(long_spec)
+        (result,) = events_of(victim, "result")
+        assert result["netlist"] == write_verilog(flow.circuit)
+        assert result["error"] == flow.error
+        assert result["evaluations"] == flow.optimization.evaluations
+        # The streamed history is seamless across the eviction too.
+        iters = [e["iteration"] for e in events_of(victim, "iteration")]
+        assert iters == sorted(set(iters)), "resume replayed iterations"
+
+    def test_cancel_queued_job(self, tmp_path):
+        service = OptimizationService(
+            capacity=1, spool=str(tmp_path / "spool")
+        )
+
+        async def scenario():
+            await service.start()
+            running = service.submit(quick_spec(seed=31))
+            queued = service.submit(quick_spec(seed=32))
+            service.cancel(queued)
+            for job in (running, queued):
+                cursor = 0
+                while not job.terminal:
+                    cursor += len(await job.wait_events(cursor))
+            await service.shutdown()
+            return running, queued
+
+        running, queued = asyncio.run(scenario())
+        assert running.state == "done"
+        assert queued.state == "cancelled"
+        assert not events_of(queued, "result")
+
+    def test_queue_full(self, tmp_path):
+        from repro.serve import QueueFull
+
+        service = OptimizationService(
+            capacity=1, max_pending=1, spool=str(tmp_path / "spool")
+        )
+
+        async def scenario():
+            # Not started: nothing dequeues, so depth is deterministic.
+            service.submit(quick_spec(seed=41))
+            with pytest.raises(QueueFull):
+                service.submit(quick_spec(seed=42))
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# the HTTP layer (real sockets, real clients on threads)
+# ----------------------------------------------------------------------
+class _Daemon:
+    """An in-process daemon on a real socket, for client-side tests."""
+
+    def __init__(self, tmp_path, capacity=2):
+        self.service = OptimizationService(
+            capacity=capacity, spool=str(tmp_path / "spool")
+        )
+        self.port = None
+        self._ready = threading.Event()
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._stop = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        await self.service.start()
+        server = await asyncio.start_server(
+            ServeApp(self.service).handle, "127.0.0.1", 0
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with server:
+            await self._stop.wait()
+            server.close()
+            await server.wait_closed()
+            await self.service.shutdown()
+
+    def __enter__(self) -> "ServeClient":
+        self._thread.start()
+        assert self._ready.wait(10), "daemon thread never listened"
+        return ServeClient(f"http://127.0.0.1:{self.port}", timeout=120)
+
+    def __exit__(self, *exc_info):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+        assert not self._thread.is_alive(), "daemon thread hung"
+
+
+class TestHttp:
+    def test_two_clients_stream_live_and_match_serial(self, tmp_path):
+        """Two concurrent clients, each streaming its own job; both
+        streams are complete, ordered, and equal to serial ground
+        truth."""
+        with _Daemon(tmp_path, capacity=2) as client:
+            assert client.health()["status"] == "ok"
+            assert "Ours" in client.methods()
+            specs = {0: quick_spec(seed=51), 1: quick_spec(seed=52)}
+            # Submit both up front (capacity covers both, so they run
+            # side by side), then stream each from its own client
+            # thread — replay-from-start makes this race-free.
+            ids = {
+                idx: client.submit(spec)["id"]
+                for idx, spec in specs.items()
+            }
+            out = {}
+
+            def drive(idx):
+                events = list(
+                    ServeClient(
+                        f"http://127.0.0.1:{client.port}", timeout=120
+                    ).events(ids[idx])
+                )
+                (end,) = [e for e in events if e["type"] == "end"]
+                out[idx] = (end["state"], events)
+
+            threads = [
+                threading.Thread(target=drive, args=(i,)) for i in specs
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300)
+            snapshots = client.jobs()
+        assert len(snapshots) == 2
+        for idx, spec in specs.items():
+            final, events = out[idx]
+            assert final == "done"
+            kinds = [e["type"] for e in events]
+            assert kinds[0] == "state" and kinds[-1] == "end"
+            assert "run_start" in kinds and "run_end" in kinds
+            flow = serial_flow(spec)
+            (result,) = [e for e in events if e["type"] == "result"]
+            assert result["netlist"] == write_verilog(flow.circuit)
+            assert result["error"] == flow.error
+        # capacity=2 and both submitted together: they ran concurrently.
+        spans = [
+            (s["started_at"], s["finished_at"]) for s in snapshots
+        ]
+        assert spans[0][0] < spans[1][1] and spans[1][0] < spans[0][1]
+
+    def test_http_errors(self, tmp_path):
+        with _Daemon(tmp_path) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.submit(JobSpec(netlist="module busted"))
+            assert excinfo.value.status == 400
+            with pytest.raises(ServeError) as excinfo:
+                client.job("j99999")
+            assert excinfo.value.status == 404
+
+    def test_replay_after_completion(self, tmp_path):
+        """A late subscriber still gets the full event history."""
+        with _Daemon(tmp_path) as client:
+            job = client.submit(quick_spec(seed=61))
+            first = list(client.events(job["id"]))
+            again = list(client.events(job["id"]))
+        assert first == again
+        assert first[-1]["type"] == "end"
+
+
+# ----------------------------------------------------------------------
+# graceful drain (the real daemon process, real signals)
+# ----------------------------------------------------------------------
+class TestDrain:
+    def test_sigterm_drains_to_resumable_checkpoint(self, tmp_path):
+        """SIGTERM mid-run: the daemon checkpoints the in-flight job,
+        exits 0 with no orphan workers, and the checkpoint resumes to
+        the exact serial result."""
+        spool = tmp_path / "spool"
+        netlist_path = tmp_path / "adder4.v"
+        netlist_path.write_text(ADDER4)
+        env = {**os.environ, "PYTHONUNBUFFERED": "1"}
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH")) if p
+        )
+        # A warm lake (e.g. CI's cold+warm cached job) could race the
+        # job to completion before SIGTERM lands mid-run; the drain
+        # path under test is cache-independent, so pin it cold.
+        env.pop("REPRO_CACHE", None)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--capacity", "1",
+                "--spool", str(spool), "--quiet",
+            ],
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stderr.readline()
+            assert "listening on " in line, line
+            url = line.rsplit(" ", 1)[-1].strip()
+            # A job long enough that SIGTERM lands mid-run.
+            spec = quick_spec(seed=71, effort=0.6, vectors=256)
+            client = ServeClient(url, timeout=120)
+            job = client.submit(spec)
+            for event in client.events(job["id"]):
+                if event["type"] == "iteration":
+                    break  # properly under way
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert code == 0, proc.stderr.read()
+        ckpt = spool / f"{job['id']}.ckpt"
+        assert ckpt.exists(), "drain did not spool a checkpoint"
+        # The drained checkpoint carries the paused run; finishing it
+        # serially yields the uninterrupted run's exact result.
+        session = Session.resume(str(ckpt))
+        try:
+            assert session.pending_methods() == ("Ours",)
+            resumed = session.run("Ours")
+        finally:
+            session.close()
+        flow = serial_flow(spec)
+        assert write_verilog(resumed.circuit) == write_verilog(
+            flow.circuit
+        )
+        assert resumed.error == flow.error
+        assert (
+            resumed.optimization.evaluations
+            == flow.optimization.evaluations
+        )
