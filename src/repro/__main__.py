@@ -406,6 +406,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import findings_to_json, format_findings, lint_paths
+
+    findings = lint_paths(args.paths, only=args.rules)
+    if args.json:
+        print(findings_to_json(findings))
+    elif findings:
+        print(format_findings(findings))
+    else:
+        print("0 findings")
+    return 1 if findings else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import serve_main
 
@@ -613,6 +626,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="spawned server's per-job shard workers",
     )
     p_load.set_defaults(func=_cmd_loadgen)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static contract checks (memoized-container mutation, "
+        "undeclared copy edits, unguarded registries, nondeterminism, "
+        "is_const in hot loops)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    p_lint.add_argument(
+        "--json", action="store_true",
+        help="emit findings as a JSON array (file/line/rule/message)",
+    )
+    p_lint.add_argument(
+        "--rules", nargs="+", default=None, metavar="RULE",
+        help="restrict to specific rule IDs (e.g. R1 R3)",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or maintain a persistent evaluation cache"

@@ -1,0 +1,94 @@
+"""File walking, allow filtering and aggregation for ``repro lint``.
+
+:func:`lint_paths` is the whole programmatic API: hand it files or
+directories, get back the surviving findings (inline-allow directives
+already applied).  The CLI in :mod:`repro.__main__` is a thin shell
+around it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .findings import Finding, parse_allows
+from .rules import run_rules
+
+__all__ = ["iter_python_files", "lint_file", "lint_paths"]
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d != "__pycache__"
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def lint_file(
+    path: str, only: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint one file; returns findings that survive inline allows."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path, exc.lineno or 0, "R0", f"syntax error: {exc.msg}"
+            )
+        ]
+    allows = parse_allows(source)
+    raw = run_rules(path, tree, only=only)
+    findings: List[Finding] = []
+    used = set()
+    for finding in raw:
+        justified = None
+        for line in (
+            finding.line,
+            finding.line - 1,
+            finding.def_line,
+            finding.def_line - 1,
+        ):
+            hit = allows.get((line, finding.rule))
+            if hit is not None:
+                justified = hit
+                used.add((line, finding.rule))
+                break
+        if justified is None:
+            findings.append(finding)
+        elif not justified:
+            # A bare allow is worse than none: it silences the rule
+            # without recording why.  Keep the original finding and
+            # point at the empty directive.
+            findings.append(finding)
+            findings.append(
+                Finding(
+                    path,
+                    finding.line,
+                    "R0",
+                    f"allow[{finding.rule}] directive has no "
+                    "justification text",
+                )
+            )
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str], only: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint every python file under ``paths``; stable ordering."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, only=only))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings

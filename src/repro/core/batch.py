@@ -59,6 +59,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..analysis.sanitize import publish_array
 from ..netlist import Circuit
 from ..sim.bitsim import _const_rows, resimulate_cone
 from ..sim.store import ValueStore, value_rows, value_store_index
@@ -306,6 +307,7 @@ def _batch_against_parent(
                             r,
                             tuple(vrows[fi] for fi in fis),
                         )
+                # lint: allow[R1] append-only memo fill, version-scoped
                 recs[gid] = rec
             if rec is None:
                 continue
@@ -367,7 +369,7 @@ def _batch_against_parent(
             for _, circuit, _, changed in ready
         ]
     for k, (item_index, circuit, _, changed) in enumerate(ready):
-        store = ValueStore(index, stacked[k].copy())
+        store = ValueStore(index, publish_array(stacked[k].copy()))
         out[item_index] = _finish_eval(ctx, circuit, reports[k], store)
 
 
@@ -521,7 +523,8 @@ def _rebuild_cached_eval(
         critical,
         circuit.version,
     )
-    values = ValueStore(index, matrix)
+    # Lake payloads arrive writable (pickle round-trip): republish.
+    values = ValueStore(index, publish_array(matrix))
     return _finish_eval(ctx, circuit, report, values)
 
 

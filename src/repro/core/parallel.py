@@ -74,6 +74,7 @@ from typing import (
 
 import numpy as np
 
+from ..analysis.sanitize import TrackedLock, publish_array
 from ..netlist import Circuit
 from ..netlist.circuit import Provenance
 from ..sim import ErrorMode, VectorSet
@@ -186,10 +187,12 @@ class _ContextSpec:
             depth_mode=self.depth_mode,
         )
         if self.cache_off:
+            # lint: allow[R3] worker-local context built before serving
             ctx.lake = False
         elif self.cache_dir:
             from ..lake import open_cache
 
+            # lint: allow[R3] worker-local context built before serving
             ctx.lake = open_cache(self.cache_dir)
         return ctx
 
@@ -265,8 +268,12 @@ def _unpack_eval(packed: _PackedEval) -> CircuitEval:
     if keys is None:
         # Dense store: rebuild the (memoized) row index from the
         # circuit that travelled alongside — same sorted-gid numbering
-        # the sender laid the matrix out by.
-        values: Any = ValueStore(value_store_index(circuit), matrix)
+        # the sender laid the matrix out by.  The matrix arrives
+        # writable from the pipe; republish it read-only — a shipped
+        # eval is as published as the local one it mirrors.
+        values: Any = ValueStore(
+            value_store_index(circuit), publish_array(matrix)
+        )
     else:
         values = {int(k): matrix[i] for i, k in enumerate(keys)}
     return CircuitEval(
@@ -489,7 +496,7 @@ class ShardDispatcher:
         #: an evaluation) queue here instead of interleaving messages.
         #: Reentrant because the error path closes from inside a
         #: dispatch.
-        self._lock = threading.RLock()
+        self._lock = TrackedLock("ShardDispatcher._lock", reentrant=True)
         self._ref_key = full_structure_key(ctx.reference)
         #: Mirror of each worker's cache keys, in insertion (FIFO) order.
         self._known: List["OrderedDict[bytes, None]"] = [
@@ -835,7 +842,7 @@ class ShardDispatcher:
 
 #: Guards the per-context dispatcher slot: two threads resolving
 #: ``jobs > 1`` on one context must share one pool, not fork two.
-_DISPATCHER_LOCK = threading.Lock()
+_DISPATCHER_LOCK = TrackedLock("parallel._DISPATCHER_LOCK")
 
 
 def get_dispatcher(ctx: EvalContext, jobs: int) -> ShardDispatcher:

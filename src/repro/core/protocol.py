@@ -238,6 +238,7 @@ class Optimizer(ABC):
             # attachment (or an explicit cache=False).
             from ..lake import open_cache
 
+            # lint: allow[R3] optimizer-construction time, no dispatcher yet
             ctx.lake = open_cache(cache_dir)
 
     # ------------------------------------------------------------------
@@ -376,6 +377,7 @@ class Optimizer(ABC):
         """
         cb = as_callback(callbacks)
         self._stop_requested = False
+        # lint: allow[R4] run-metadata wall time, never feeds evaluation
         begin = time.perf_counter()
         if state is None:
             state = self.start()
@@ -397,6 +399,7 @@ class Optimizer(ABC):
                         total_iterations=state.limit,
                         stats=stats,
                         best=state.best,
+                        # lint: allow[R4] run-metadata wall time only
                         elapsed_s=time.perf_counter() - begin,
                     )
                 )
@@ -412,6 +415,7 @@ class Optimizer(ABC):
             population=self._result_population(state),
             history=list(state.history),
             evaluations=state.evaluations,
+            # lint: allow[R4] run-metadata wall time only
             runtime_s=time.perf_counter() - begin,
             completed=completed,
         )

@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Set
 
-from ..netlist import Circuit, is_const
+from ..netlist import Circuit
 from ..sim import best_switch
 from ..sta import critical_paths, path_logic_gates
 from .fitness import CircuitEval, EvalContext
@@ -36,8 +36,10 @@ def collect_targets(
             if rng.random() > 0.5:
                 targets.update(
                     fi
+                    # Constants are the only negative IDs (R5):
+                    # `fi >= 0` is `not is_const(fi)` without a call.
                     for fi in circuit.fanins[gid]
-                    if not is_const(fi) and circuit.is_logic(fi)
+                    if fi >= 0 and circuit.is_logic(fi)
                 )
     return sorted(targets)
 

@@ -46,6 +46,7 @@ import warnings
 from collections import OrderedDict
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..analysis.sanitize import TrackedLock
 from . import segment as seg
 from .catalog import Catalog
 
@@ -507,7 +508,7 @@ _OPEN: Dict[str, EvalCache] = {}
 #: concurrent threads, and two racing opens must not build two
 #: instances (two indexes, two LRUs, double-counted stats) for one
 #: directory.
-_OPEN_LOCK = threading.Lock()
+_OPEN_LOCK = TrackedLock("lake._OPEN_LOCK")
 
 
 def open_cache(path: str, **knobs: Any) -> EvalCache:

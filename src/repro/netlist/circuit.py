@@ -39,6 +39,8 @@ from typing import (
     Tuple,
 )
 
+from ..analysis.sanitize import sanitize_enabled, verify_provenance
+
 #: Reserved fan-in ID for the constant logic value '0'.
 CONST0 = -1
 #: Reserved fan-in ID for the constant logic value '1'.
@@ -354,6 +356,7 @@ class Circuit:
         if include_self:
             seen.add(gid)
         result = frozenset(seen)
+        # lint: allow[R1] owner-populated memo, version-scoped by _store
         cache[key] = result
         return result
 
@@ -380,6 +383,7 @@ class Circuit:
         if include_self:
             seen.add(gid)
         result = frozenset(seen)
+        # lint: allow[R1] owner-populated memo, version-scoped by _store
         cache[key] = result
         return result
 
@@ -435,6 +439,7 @@ class Circuit:
         ):
             return hit[2]
         result = self._fanins.keys() == other._fanins.keys()
+        # lint: allow[R1] owner-populated memo, version-scoped by _store
         cache[id(other)] = (other, other._version, result)
         return result
 
@@ -489,6 +494,7 @@ class Circuit:
             cell = cells[g]
             if cell != PI_CELL and cell != PO_CELL:
                 total += lib_cell(cell).area
+        # lint: allow[R1] owner-populated memo, version-scoped by _store
         cache[key] = (library, total)
         return total
 
@@ -565,6 +571,12 @@ class Circuit:
         parent, so a copy-then-mutate flow can extend it into the exact
         ``changed`` set incremental evaluation needs.
         """
+        if sanitize_enabled():
+            # Tripwire (REPRO_SANITIZE=1): a record carried across a
+            # copy boundary must actually cover the structural diff
+            # against its parent, or every incremental consumer would
+            # reuse stale rows.
+            verify_provenance(self)
         c = Circuit(name if name is not None else self.name)
         c.fanins = dict(self._fanins)
         c.cells = dict(self._cells)
@@ -650,6 +662,8 @@ class Circuit:
             prov.changed | frozenset(changed),
         )
         self._prov_version = self._version
+        if sanitize_enabled():
+            verify_provenance(self)
 
     def _record_digests(self) -> Dict[int, int]:
         """Per-gate record digests the structure keys are folded from.

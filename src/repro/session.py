@@ -182,15 +182,19 @@ class Session:
         #: environment, not the checkpoint).
         self._cache_spec: Optional[Dict[str, Any]] = None
         if cache is False:
+            # lint: allow[R3] single-threaded Session setup, no dispatcher yet
             self.ctx.lake = False
         elif cache is not None:
+            # lint: allow[R3] single-threaded Session setup, no dispatcher yet
             self.ctx.lake = cache
             self._cache_spec = {"cache_dir": cache.path}
         else:
             directory = cache_dir or self.config.cache_dir
             if directory:
-                self.ctx.lake = open_cache(directory)
-                self._cache_spec = {"cache_dir": self.ctx.lake.path}
+                opened = open_cache(directory)
+                # lint: allow[R3] single-threaded setup, no dispatcher yet
+                self.ctx.lake = opened
+                self._cache_spec = {"cache_dir": opened.path}
             # else: leave ctx.lake unset; the batch evaluator resolves
             # REPRO_CACHE lazily (and memoizes the answer per context).
         #: Paused optimizer runs by canonical method name.
@@ -597,6 +601,7 @@ class Session:
             # Reattach the same evaluation lake the checkpointed session
             # used; cached hits are bit-identical, so resume + warm cache
             # replays the same trajectory as an uninterrupted run.
+            # lint: allow[R3] fresh single-threaded session, no dispatcher yet
             session.ctx.lake = open_cache(spec["cache_dir"])
             session._cache_spec = dict(spec)
         for key, (method_config, state) in payload["pending"].items():

@@ -20,8 +20,9 @@ from typing import Dict, Iterable, Mapping, Optional, Set
 
 import numpy as np
 
+from ..analysis.sanitize import publish_array
 from ..cells import FUNCTIONS, split_cell_name
-from ..netlist import CONST0, CONST1, PI_CELL, PO_CELL, Circuit, is_const
+from ..netlist import CONST0, CONST1, PI_CELL, PO_CELL, Circuit
 from .store import ValueStore, value_rows, value_store_index
 from .vectors import VectorSet
 
@@ -37,6 +38,7 @@ def _const_rows(num_words: int) -> Dict[int, np.ndarray]:
     }
 
 
+# lint: allow[R1] publish site: fills a freshly allocated, unshared store
 def simulate(circuit: Circuit, vectors: VectorSet) -> ValueStore:
     """Simulate all gates; returns the packed value store.
 
@@ -73,6 +75,7 @@ def simulate(circuit: Circuit, vectors: VectorSet) -> ValueStore:
         matrix[rows[gid]] = FUNCTIONS[function].word_eval(
             [matrix[rows[fi]] for fi in fis]
         )
+    publish_array(matrix)
     return store
 
 
@@ -107,7 +110,9 @@ def resimulate_cone(
     if dirty is None:
         dirty = set()
         for gid in changed:
-            if not is_const(gid):
+            # Constants are the only negative IDs (R5): `gid >= 0` is
+            # is_const() without a call per changed gate.
+            if gid >= 0:
                 dirty |= circuit.transitive_fanout(gid, include_self=True)
     fanins = circuit.fanins
     cells = circuit.cells
@@ -137,7 +142,7 @@ def resimulate_cone(
             matrix[rows[gid]] = FUNCTIONS[function].word_eval(
                 [matrix[rows[fi]] for fi in fis]
             )
-        return ValueStore(index, matrix)
+        return ValueStore(index, publish_array(matrix))
     values: Dict[int, np.ndarray] = dict(base_values)
     values.update(_const_rows(vectors.num_words))
     for row, pi in enumerate(circuit.pi_ids):

@@ -35,6 +35,7 @@ from typing import Dict, Iterator
 
 import numpy as np
 
+from ..analysis.sanitize import publish_array
 from ..netlist import CONST0, CONST1
 from ..sta.store import TimingIndex, timing_index
 
@@ -70,9 +71,16 @@ def value_rows(index: TimingIndex) -> Dict[int, int]:
 
 
 def _rebuild_store(gids, po_rows, matrix):
-    """Unpickling hook: rebuild the row dict from the sorted gid array."""
+    """Unpickling hook: rebuild the row dict from the sorted gid array.
+
+    The matrix arrives writable from pickle; it is republished
+    read-only (under ``REPRO_SANITIZE=1``) because an unpickled store
+    is as published as the one it was packed from.
+    """
     row = {int(g): i for i, g in enumerate(gids)}
-    return ValueStore(TimingIndex(gids, row, po_rows), matrix)
+    return ValueStore(
+        TimingIndex(gids, row, po_rows), publish_array(matrix)
+    )
 
 
 class ValueStore(Mapping):

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.sanitize import publish_arrays
 from ..cells import Library
 from ..netlist import Circuit
 from .store import (
@@ -91,6 +92,12 @@ class TimingReport:
         self.unit_depth_a = unit_depth_a
         self.critical_fanin_a = critical_fanin_a
         self.circuit_version = circuit_version
+        # Constructing a report *is* publication: under REPRO_SANITIZE=1
+        # the arrays become physically read-only, so any consumer that
+        # writes in place instead of copying raises at the store site.
+        publish_arrays(
+            arrival_a, slew_a, load_a, unit_depth_a, critical_fanin_a
+        )
 
     # ------------------------------------------------------------------
     # dict-style views
@@ -207,6 +214,15 @@ class TimingReport:
             self.critical_fanin_a,
             self.circuit_version,
         ) = payload
+        # Arrays rebuilt from pickle arrive writable; republish them
+        # read-only so unpickled reports keep the publication contract.
+        publish_arrays(
+            self.arrival_a,
+            self.slew_a,
+            self.load_a,
+            self.unit_depth_a,
+            self.critical_fanin_a,
+        )
 
 
 class STAEngine:

@@ -744,6 +744,7 @@ def update_timing_batch(
                 rec = recs.get(gid, False)
                 if rec is False:
                     rec = _frontier_rec(pcells[gid], pfanins[gid], row_of, n)
+                    # lint: allow[R1] append-only memo fill, version-scoped
                     recs[gid] = rec
             if rec is None:
                 # PI rows re-derive to their own values and never
