@@ -581,6 +581,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation-lake directory shared by every job",
     )
     p_srv.add_argument(
+        "--job-deadline", type=float, default=None,
+        help=(
+            "default wall-clock budget per job in seconds; a spec's "
+            "deadline_s overrides it (default: no deadline)"
+        ),
+    )
+    p_srv.add_argument(
         "--quiet", action="store_true",
         help="suppress the per-request log on stderr",
     )
@@ -612,6 +619,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument(
         "--timeout", type=float, default=300.0,
         help="per-job completion deadline in seconds",
+    )
+    p_load.add_argument(
+        "--max-503-retries", type=int, default=5,
+        help=(
+            "submits absorbing 503 back-pressure retry this many times "
+            "(honoring Retry-After, jittered) before counting a failure"
+        ),
     )
     p_load.add_argument(
         "--spawn", action="store_true",

@@ -13,6 +13,7 @@ from .batch import evaluate_batch, group_by_parent
 from .dcgwo import DCGWO, DCGWOConfig
 from .parallel import (
     ShardDispatcher,
+    WorkerCrashError,
     close_dispatcher,
     get_dispatcher,
     resolve_jobs,
@@ -86,6 +87,7 @@ __all__ = [
     "evaluate_batch",
     "group_by_parent",
     "ShardDispatcher",
+    "WorkerCrashError",
     "close_dispatcher",
     "get_dispatcher",
     "resolve_jobs",

@@ -40,11 +40,23 @@ what the serial path would have produced for it (pinned by
 jobs>children, stale-provenance fallbacks, mixed parent groups, and a
 seeded DCGWO run-identity test).
 
-Crash safety: a worker that raises — a poisoned cell library, a bug in
-an evaluation path — reports the pickled exception back; the dispatcher
-then tears the whole pool down (no hung processes) and re-raises the
-original exception in the caller, so ``Session.run`` surfaces it like
-any serial error.  Workers are daemonic as a last-resort backstop.
+Crash safety is a *recovery* layer, not just detection.  Because every
+routing and caching decision lives in the parent, a worker is
+disposable: when one dies (SIGKILL, OOM-kill), hangs past the per-reply
+deadline (``REPRO_WORKER_TIMEOUT``; the straggler is SIGKILLed), or its
+pipe breaks, the dispatcher respawns it with a fresh cache mirror and
+re-plans the unmerged items — bounded retries with backoff
+(``REPRO_WORKER_RETRIES``), then graceful degradation to serial
+evaluation in the parent.  Since every path is bit-identical, recovery
+may re-route freely without changing a single result bit.  Error
+*replies* are classified instead: the first one is replayed once
+against a respawned worker (with fault injection suppressed), and a
+second error is deterministic — a poisoned cell library, a bug — so the
+pool is torn down and the original exception re-raised, exactly the
+PR-3 contract.  Workers are daemonic as a last-resort backstop, and
+deterministic fault injection (:mod:`repro.faults`, sites
+``worker.kill``/``worker.hang``/``worker.poison``) exercises every one
+of these paths in the chaos CI job.
 
 Job-count resolution (:func:`resolve_jobs`): an explicit ``jobs=``
 argument wins, then the optimizer/flow config's ``jobs`` field, then
@@ -56,7 +68,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import threading
+import time
 import traceback
 import warnings
 from collections import OrderedDict, deque
@@ -74,6 +88,7 @@ from typing import (
 
 import numpy as np
 
+from .. import faults
 from ..analysis.sanitize import TrackedLock, publish_array
 from ..netlist import Circuit
 from ..netlist.circuit import Provenance
@@ -89,6 +104,60 @@ _IN_WORKER = False
 #: Parent-eval cache entries kept per worker (FIFO eviction, mirrored
 #: by the dispatcher so both sides agree on what is resident).
 DEFAULT_CACHE_LIMIT = 128
+
+#: Per-reply deadline for one eval dispatch (``REPRO_WORKER_TIMEOUT``
+#: overrides; <= 0 disables).  Generous — a legitimate shard reply is
+#: seconds — but finite, so a live-yet-wedged worker (SIGSTOP, a stuck
+#: syscall) becomes a recoverable failure instead of a hung session.
+DEFAULT_WORKER_TIMEOUT = 600.0
+
+#: Per-reply deadline for one whole-method run (``Session.compare``
+#: path; ``REPRO_METHOD_TIMEOUT`` overrides, <= 0 disables).  Method
+#: runs are full optimization flows, so the ceiling is much higher.
+DEFAULT_METHOD_TIMEOUT = 3600.0
+
+#: Recovery attempts after the first failed dispatch before the
+#: dispatcher degrades to serial evaluation (``REPRO_WORKER_RETRIES``).
+DEFAULT_WORKER_RETRIES = 2
+
+
+class WorkerCrashError(faults.TransientError):
+    """The pool kept failing past its retry budget (transient class:
+    a serve job hitting this may retry from its checkpoint)."""
+
+
+class _ReplyTimeout(Exception):
+    """Internal: a worker missed its per-reply deadline."""
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        warnings.warn(
+            f"{name}={raw!r} is not a number; using {default}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        warnings.warn(
+            f"{name}={raw!r} is not an integer; using {default}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return default
 
 
 def resolve_jobs(jobs: Optional[int] = None, config: Any = None) -> int:
@@ -364,6 +433,27 @@ def _worker_eval(
     return results
 
 
+def _apply_worker_fault(fault: Any) -> None:
+    """Execute a parent-shipped fault instruction (chaos testing).
+
+    The *parent* evaluates the fault schedule at send time and ships
+    the verdict, so a respawned worker never re-reads counters and
+    re-kills itself forever; the worker just acts it out.
+    """
+    if fault is None:
+        return
+    if fault == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif fault == "poison":
+        raise faults.InjectedFault("injected worker error reply")
+    elif isinstance(fault, tuple) and fault[0] == "hang":
+        # Sleep far past the parent's reply deadline; the parent
+        # SIGKILLs the straggler, so the sleep never runs to term.
+        time.sleep(float(fault[1]))
+    else:  # pragma: no cover - schedule/worker version skew
+        raise RuntimeError(f"unknown fault instruction {fault!r}")
+
+
 def _worker_run(ctx: EvalContext, method: str, flow_config: Any) -> Any:
     """Run one whole method (optimizer + post-opt) against the worker ctx."""
     from ..session import Session
@@ -408,9 +498,11 @@ def _worker_main(conn: Connection, spec: _ContextSpec) -> None:
             if kind == "ping":
                 result: Any = None
             elif kind == "eval":
-                result = _worker_eval(ctx, ref_key, cache, *msg[1:])
+                _apply_worker_fault(msg[4] if len(msg) > 4 else None)
+                result = _worker_eval(ctx, ref_key, cache, *msg[1:4])
             elif kind == "run":
-                result = _worker_run(ctx, *msg[1:])
+                _apply_worker_fault(msg[3] if len(msg) > 3 else None)
+                result = _worker_run(ctx, *msg[1:3])
             else:
                 raise RuntimeError(f"unknown shard message {kind!r}")
             reply: Tuple = ("ok", result)
@@ -471,12 +563,24 @@ class ShardDispatcher:
         cache_limit: parent-eval cache entries per worker.  The
             dispatcher mirrors each worker's FIFO bookkeeping, so both
             sides always agree on which parents are resident.
+        worker_timeout: per-reply deadline in seconds for eval/ping
+            dispatches (default ``REPRO_WORKER_TIMEOUT``, else
+            :data:`DEFAULT_WORKER_TIMEOUT`; <= 0 disables).
+        method_timeout: per-reply deadline for whole-method runs
+            (default ``REPRO_METHOD_TIMEOUT``).
+        retries: recovery attempts after a failed dispatch before
+            degrading to serial (default ``REPRO_WORKER_RETRIES``).
 
     The dispatcher is deliberately single-brained: every routing,
     caching and eviction decision is made in the parent process and
     shipped to workers as explicit instructions, which is what makes a
     run's dispatch sequence — and therefore its results — a pure
-    function of the item stream, independent of scheduling.
+    function of the item stream, independent of scheduling.  That same
+    property makes workers disposable: respawn-and-re-plan after any
+    death/hang cannot change a result, only its routing.  Recovery
+    counters live in :attr:`stats` (``respawns``/``retries``/
+    ``timeouts``/``replays``/``serial_fallbacks``) for the chaos CI
+    job's summary.
     """
 
     def __init__(
@@ -484,11 +588,39 @@ class ShardDispatcher:
         ctx: EvalContext,
         jobs: int,
         cache_limit: int = DEFAULT_CACHE_LIMIT,
+        worker_timeout: Optional[float] = None,
+        method_timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        backoff: float = 0.05,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache_limit = max(cache_limit, 8)
+        self.worker_timeout = (
+            worker_timeout
+            if worker_timeout is not None
+            else _env_float("REPRO_WORKER_TIMEOUT", DEFAULT_WORKER_TIMEOUT)
+        )
+        self.method_timeout = (
+            method_timeout
+            if method_timeout is not None
+            else _env_float("REPRO_METHOD_TIMEOUT", DEFAULT_METHOD_TIMEOUT)
+        )
+        self.retries = (
+            retries
+            if retries is not None
+            else max(0, _env_int("REPRO_WORKER_RETRIES", DEFAULT_WORKER_RETRIES))
+        )
+        self.backoff = backoff
+        #: Recovery counters (cumulative over the dispatcher's life).
+        self.stats: Dict[str, int] = {
+            "respawns": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "replays": 0,
+            "serial_fallbacks": 0,
+        }
         self._closed = False
         #: Serializes pool access: the pipes, routing tables and cache
         #: mirrors assume one dispatch in flight, so concurrent callers
@@ -503,20 +635,45 @@ class ShardDispatcher:
             OrderedDict() for _ in range(jobs)
         ]
         self._rr = 0  # round-robin counter for full-eval singles
-        spec = _ContextSpec.from_ctx(ctx)
-        mp = multiprocessing.get_context(_start_method())
+        #: Kept for serial-fallback evaluation and worker respawns.
+        self._ctx = ctx
+        self._spec = _ContextSpec.from_ctx(ctx)
+        self._mp = multiprocessing.get_context(_start_method())
         self._workers: List[Tuple[Any, Connection]] = []
         for i in range(jobs):
-            parent_conn, child_conn = mp.Pipe()
-            proc = mp.Process(
-                target=_worker_main,
-                args=(child_conn, spec),
-                daemon=True,
-                name=f"repro-shard-{i}",
-            )
-            proc.start()
-            child_conn.close()
-            self._workers.append((proc, parent_conn))
+            self._workers.append(self._spawn(i))
+
+    def _spawn(self, index: int) -> Tuple[Any, Connection]:
+        parent_conn, child_conn = self._mp.Pipe()
+        proc = self._mp.Process(
+            target=_worker_main,
+            args=(child_conn, self._spec),
+            daemon=True,
+            name=f"repro-shard-{index}",
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
+    def _respawn(self, worker: int) -> None:
+        """Replace a failed worker with a fresh process + empty mirror.
+
+        SIGKILL (not SIGTERM) so even a SIGSTOP'd straggler dies, and
+        the cache mirror is reset so the planner re-ships any parent
+        the dead worker was supposed to hold — the parent-side
+        bookkeeping *is* the replay recipe.
+        """
+        proc, conn = self._workers[worker]
+        try:
+            conn.close()
+        except Exception:
+            pass
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5.0)
+        self._known[worker] = OrderedDict()
+        self._workers[worker] = self._spawn(worker)
+        self.stats["respawns"] += 1
 
     # ------------------------------------------------------------------
     @property
@@ -528,12 +685,49 @@ class ShardDispatcher:
 
         Useful before timed regions (the runtime-scaling bench measures
         steady-state throughput) and to surface context-build errors
-        eagerly; :meth:`evaluate_items` works without it.
+        eagerly; :meth:`evaluate_items` works without it.  Supervised
+        like any dispatch: dead/hung workers are respawned and
+        re-pinged, a repeated error reply is deterministic and raises.
         """
         with self._lock:
-            for w in range(self.jobs):
-                self._send(w, ("ping",))
-            self._collect(range(self.jobs), out=None)
+            pending = list(range(self.jobs))
+            err_seen = False
+            for attempt in range(self.retries + 2):
+                if attempt:
+                    self.stats["retries"] += 1
+                    time.sleep(self.backoff * attempt)
+                failed: List[int] = []
+                active: List[int] = []
+                for w in pending:
+                    if self._send(w, ("ping",)):
+                        active.append(w)
+                    else:
+                        failed.append(w)
+                error: Optional[Tuple[BaseException, str]] = None
+                for w in active:
+                    kind, payload = self._collect_one(
+                        w, self.worker_timeout
+                    )
+                    if kind == "err":
+                        error = payload
+                        failed.append(w)
+                    elif kind in ("dead", "timeout"):
+                        failed.append(w)
+                if error is not None:
+                    if err_seen:
+                        self._raise_worker_error(*error)
+                    err_seen = True
+                    self.stats["replays"] += 1
+                for w in failed:
+                    self._respawn(w)
+                pending = sorted(failed)
+                if not pending:
+                    return
+            self.close(force=True)
+            raise WorkerCrashError(
+                f"shard pool failed to warm up after {self.retries + 1} "
+                "attempts"
+            )
 
     # ------------------------------------------------------------------
     # planning
@@ -626,27 +820,33 @@ class ShardDispatcher:
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
-    def _send(self, worker: int, msg: Tuple) -> None:
+    def _send(self, worker: int, msg: Tuple) -> bool:
+        """Best-effort send; ``False`` means the worker's pipe is gone
+        (the caller treats that exactly like a death and respawns)."""
         if self._closed:
             raise RuntimeError("dispatcher is closed")
         try:
             self._workers[worker][1].send(msg)
-        except (OSError, ValueError) as exc:
-            failure = RuntimeError(
-                f"parallel worker {worker} is gone ({exc!r})"
-            )
-            self.close(force=True)
-            raise failure from exc
+            return True
+        except (OSError, ValueError):
+            return False
 
-    def _recv_reply(self, worker: int) -> Tuple[str, Any]:
-        """Receive one reply, watching the process as well as the pipe.
+    def _recv_reply(self, worker: int, timeout: float) -> Tuple[str, Any]:
+        """Receive one reply, watching process, pipe, and the clock.
 
         A worker that dies abruptly may never close our end of the pipe
         (sibling workers forked later hold inherited copies of its write
         fd), so a bare ``recv`` could block forever; polling with a
-        liveness check turns that into a clean :class:`EOFError`.
+        liveness check turns that into a clean :class:`EOFError`.  A
+        worker that is alive but wedged (SIGSTOP, a stuck syscall, an
+        injected hang) trips the per-reply deadline instead and raises
+        :class:`_ReplyTimeout` — the caller kills and replaces it.
         """
         proc, conn = self._workers[worker]
+        deadline = (
+            # lint: allow[R4] supervision wall clock; never feeds results
+            time.monotonic() + timeout if timeout and timeout > 0 else None
+        )
         while True:
             if conn.poll(0.05):
                 return conn.recv()
@@ -654,53 +854,66 @@ class ShardDispatcher:
                 if conn.poll(0.05):  # drain a reply racing the exit
                     return conn.recv()
                 raise EOFError(f"worker exited with {proc.exitcode!r}")
-
-    def _collect(
-        self,
-        workers: Sequence[int],
-        out: Optional[List[Optional[CircuitEval]]],
-    ) -> List[Any]:
-        """Receive one reply per listed worker; merge or fail atomically.
-
-        On any worker error the *original* exception is re-raised after
-        the whole pool is torn down — partially merged results are
-        discarded, and no process is left behind (the crash-safety
-        contract ``tests/test_parallel_eval.py`` pins).
-        """
-        replies: List[Any] = []
-        failure: Optional[BaseException] = None
-        failure_tb = ""
-        for w in workers:
-            try:
-                kind, payload = self._recv_reply(w)
-            except (EOFError, OSError) as exc:
-                if failure is None:
-                    failure = RuntimeError(
-                        f"parallel worker {w} died without replying"
-                    )
-                    failure.__cause__ = exc
-                continue
-            if kind == "err":
-                if failure is None:
-                    failure, failure_tb = payload
-                continue
-            if out is not None:
-                for index, packed in payload:
-                    out[index] = _unpack_eval(packed)
-            replies.append(payload)
-        if failure is not None:
-            self.close(force=True)
-            if failure_tb and hasattr(failure, "add_note"):
-                failure.add_note(
-                    "raised in a shard worker; worker traceback:\n"
-                    + failure_tb
+            # lint: allow[R4] supervision wall clock; never feeds results
+            if deadline is not None and time.monotonic() > deadline:
+                raise _ReplyTimeout(
+                    f"worker {worker} missed the {timeout:.1f}s reply "
+                    "deadline"
                 )
-            raise failure
-        return replies
+
+    def _collect_one(self, worker: int, timeout: float) -> Tuple[str, Any]:
+        """One worker's outcome: ``("ok"|"err"|"dead"|"timeout", ...)``.
+
+        A straggler that trips the deadline is SIGKILLed on the spot —
+        from here on it is just another dead worker to respawn.
+        """
+        try:
+            return self._recv_reply(worker, timeout)
+        except _ReplyTimeout as exc:
+            self.stats["timeouts"] += 1
+            proc = self._workers[worker][0]
+            if proc.is_alive():
+                proc.kill()
+            return "timeout", exc
+        except (EOFError, OSError) as exc:
+            return "dead", exc
+
+    def _raise_worker_error(self, exc: BaseException, tb: str) -> None:
+        """Deterministic worker error: tear the pool down, re-raise."""
+        self.close(force=True)
+        if tb and hasattr(exc, "add_note"):
+            exc.add_note(
+                "raised in a shard worker; worker traceback:\n" + tb
+            )
+        raise exc
 
     # ------------------------------------------------------------------
     # public entry points
     # ------------------------------------------------------------------
+    def _eval_fault(self, worker: int, suppress: bool) -> Any:
+        """Fault instruction for one eval send (``None`` when disarmed).
+
+        Evaluated parent-side so the hit counters have a single
+        authority; ``suppress`` turns injection off for diagnostic
+        replays (an injected kill must not mask the question "was that
+        error reply deterministic?").
+        """
+        if suppress:
+            return None
+        scope = str(worker)
+        if faults.should_inject("worker.kill", scope):
+            return "kill"
+        if faults.should_inject("worker.hang", scope):
+            hang_s = (
+                max(1.0, 4.0 * self.worker_timeout)
+                if self.worker_timeout > 0
+                else 600.0
+            )
+            return ("hang", hang_s)
+        if faults.should_inject("worker.poison", scope):
+            return "poison"
+        return None
+
     def evaluate_items(
         self, items: Sequence[BatchItem], force_full: bool = False
     ) -> List[CircuitEval]:
@@ -709,20 +922,108 @@ class ShardDispatcher:
         ``force_full`` mirrors ``use_incremental=False``: every item is
         fully evaluated (still sharded), matching what the serial path
         would have computed under that toggle.
+
+        Self-healing: workers that die, hang past the reply deadline,
+        or lose their pipe are respawned and the unmerged items
+        re-planned (results already merged from healthy workers are
+        kept — merging is by item index, so routing changes are
+        invisible).  After ``retries`` failed recovery rounds the
+        remaining items are evaluated serially in the parent.  A worker
+        *error reply* is replayed once with fault injection suppressed;
+        a second error is deterministic and re-raises after tearing the
+        pool down.
         """
         if not items:
             return []
         with self._lock:
-            plans = self._plan(items, force_full)
             out: List[Optional[CircuitEval]] = [None] * len(items)
-            active = [w for w, plan in enumerate(plans) if not plan.empty]
-            for w in active:
-                plan = plans[w]
-                self._send(
-                    w, ("eval", plan.evicts, plan.groups, plan.singles)
-                )
-            self._collect(active, out)
+            pending = list(range(len(items)))
+            err_seen = False
+            attempt = 0
+            while pending:
+                if attempt > self.retries:
+                    self._serial_fallback(items, pending, force_full, out)
+                    break
+                if attempt:
+                    self.stats["retries"] += 1
+                    time.sleep(self.backoff * attempt)
+                sub = [items[i] for i in pending]
+                plans = self._plan(sub, force_full)
+                active: List[int] = []
+                failed: List[int] = []
+                for w, plan in enumerate(plans):
+                    if plan.empty:
+                        continue
+                    msg = (
+                        "eval",
+                        plan.evicts,
+                        plan.groups,
+                        plan.singles,
+                        self._eval_fault(w, suppress=err_seen),
+                    )
+                    if self._send(w, msg):
+                        active.append(w)
+                    else:
+                        failed.append(w)
+                error: Optional[Tuple[BaseException, str]] = None
+                done: set = set()
+                for w in active:
+                    kind, payload = self._collect_one(
+                        w, self.worker_timeout
+                    )
+                    if kind == "ok":
+                        for sub_index, packed in payload:
+                            out[pending[sub_index]] = _unpack_eval(packed)
+                            done.add(sub_index)
+                    elif kind == "err":
+                        error = payload
+                        failed.append(w)
+                    else:  # dead / timeout
+                        failed.append(w)
+                if error is not None:
+                    if err_seen:
+                        # The replay (injection-free) failed too: this
+                        # error is deterministic, not environmental.
+                        self._raise_worker_error(*error)
+                    err_seen = True
+                    self.stats["replays"] += 1
+                for w in sorted(set(failed)):
+                    self._respawn(w)
+                pending = [
+                    index
+                    for sub_index, index in enumerate(pending)
+                    if sub_index not in done
+                ]
+                attempt += 1
         return out  # type: ignore[return-value]
+
+    def _serial_fallback(
+        self,
+        items: Sequence[BatchItem],
+        pending: Sequence[int],
+        force_full: bool,
+        out: List[Optional[CircuitEval]],
+    ) -> None:
+        """Last resort: evaluate the stubborn items in the parent.
+
+        The serial batch path is the definition of correctness here, so
+        degraded results are still bit-identical — the pool only ever
+        buys wall-clock time, never different answers.
+        """
+        self.stats["serial_fallbacks"] += 1
+        warnings.warn(
+            f"shard pool kept failing after {self.retries} recovery "
+            f"attempts; evaluating {len(pending)} items serially in "
+            "the parent",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        sub: List[BatchItem] = [items[i] for i in pending]
+        if force_full:
+            sub = [(circuit, None) for circuit, _ in sub]
+        evals = evaluate_batch(self._ctx, sub)
+        for index, ev in zip(pending, evals):
+            out[index] = ev
 
     def run_methods(
         self, methods: Sequence[str], flow_config: Any
@@ -733,69 +1034,108 @@ class ShardDispatcher:
         one worker against that worker's cloned context; methods beyond
         the pool size queue up and start as workers free up.  Results
         come back keyed and are returned in the requested method order.
-        Individual runs are seeded and independent, so concurrency
-        cannot change any result.
+        Individual runs are seeded and independent, so concurrency —
+        and recovery re-dispatch after a worker death or a missed
+        ``method_timeout`` deadline — cannot change any result.  A
+        method whose worker keeps dying past the retry budget raises
+        :class:`WorkerCrashError` (there is no serial fallback here: a
+        method run *is* a serial run, just elsewhere); an error reply
+        is replayed once and a second error re-raises the original.
         """
         with self._lock:
             pending = deque(methods)
-            inflight: Dict[int, str] = {}
+            # worker -> (method, dispatch time); monotonic only feeds
+            # the supervision deadline, never a result.
+            inflight: Dict[int, Tuple[str, float]] = {}
             results: Dict[str, Any] = {}
-            conn_to_worker = {
-                self._workers[w][1]: w for w in range(self.jobs)
-            }
-            for w in range(self.jobs):
-                if not pending:
-                    break
-                method = pending.popleft()
-                self._send(w, ("run", method, flow_config))
-                inflight[w] = method
-            while inflight:
+            death_counts: Dict[str, int] = {m: 0 for m in methods}
+            err_counts: Dict[str, int] = {m: 0 for m in methods}
+
+            def fail_method(worker: int, method: str) -> None:
+                self._respawn(worker)
+                death_counts[method] += 1
+                if death_counts[method] > self.retries:
+                    self.close(force=True)
+                    raise WorkerCrashError(
+                        f"parallel worker running {method!r} kept "
+                        f"failing after {self.retries} retries"
+                    )
+                self.stats["retries"] += 1
+                pending.appendleft(method)
+
+            while inflight or pending:
+                for w in range(self.jobs):
+                    if not pending:
+                        break
+                    if w in inflight:
+                        continue
+                    method = pending.popleft()
+                    fault = (
+                        None
+                        if err_counts[method]
+                        else self._run_fault(w)
+                    )
+                    if self._send(w, ("run", method, flow_config, fault)):
+                        # lint: allow[R4] supervision deadline bookkeeping
+                        inflight[w] = (method, time.monotonic())
+                    else:
+                        fail_method(w, method)
+                if not inflight:
+                    continue
+                conn_to_worker = {
+                    self._workers[w][1]: w for w in inflight
+                }
                 ready = connection_wait(
-                    [self._workers[w][1] for w in inflight], timeout=0.1
+                    list(conn_to_worker), timeout=0.1
                 )
                 if not ready:
-                    # No data: make sure everyone we wait on is still
-                    # alive (a dead worker's pipe may be held open by
-                    # siblings).
-                    dead = [
-                        w
-                        for w in inflight
-                        if not self._workers[w][0].is_alive()
-                        and not self._workers[w][1].poll(0)
-                    ]
-                    if dead:
-                        w = dead[0]
-                        method = inflight.pop(w)
-                        self.close(force=True)
-                        raise RuntimeError(
-                            f"parallel worker {w} died running {method!r}"
-                        )
+                    # No data: check liveness and the method deadline
+                    # (a dead worker's pipe may be held open by
+                    # siblings; a SIGSTOP'd one never reaches EOF).
+                    # lint: allow[R4] supervision deadline bookkeeping
+                    now = time.monotonic()
+                    for w in list(inflight):
+                        proc, conn = self._workers[w]
+                        method, started = inflight[w]
+                        if (
+                            self.method_timeout > 0
+                            and now - started > self.method_timeout
+                            and proc.is_alive()
+                        ):
+                            self.stats["timeouts"] += 1
+                            proc.kill()
+                        if not proc.is_alive() and not conn.poll(0):
+                            inflight.pop(w)
+                            fail_method(w, method)
                     continue
                 for conn in ready:
                     w = conn_to_worker[conn]
-                    method = inflight.pop(w)
+                    method, _ = inflight.pop(w)
                     try:
                         kind, payload = conn.recv()
-                    except (EOFError, OSError) as exc:
-                        self.close(force=True)
-                        raise RuntimeError(
-                            f"parallel worker {w} died running {method!r}"
-                        ) from exc
+                    except (EOFError, OSError):
+                        fail_method(w, method)
+                        continue
                     if kind == "err":
-                        exc, tb = payload
-                        self.close(force=True)
-                        if tb and hasattr(exc, "add_note"):
-                            exc.add_note(
-                                "raised in a shard worker; worker "
-                                "traceback:\n" + tb
-                            )
-                        raise exc
+                        if err_counts[method]:
+                            self._raise_worker_error(*payload)
+                        err_counts[method] = 1
+                        self.stats["replays"] += 1
+                        self._respawn(w)
+                        pending.appendleft(method)
+                        continue
                     results[method] = payload
-                    if pending:
-                        nxt = pending.popleft()
-                        self._send(w, ("run", nxt, flow_config))
-                        inflight[w] = nxt
             return {m: results[m] for m in methods}
+
+    def _run_fault(self, worker: int) -> Any:
+        """Fault instruction for one method-run send (kill/poison only:
+        a hang would stall CI for the whole method deadline)."""
+        scope = str(worker)
+        if faults.should_inject("worker.kill", scope):
+            return "kill"
+        if faults.should_inject("worker.poison", scope):
+            return "poison"
+        return None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -825,6 +1165,11 @@ class ShardDispatcher:
                 proc.join(timeout=0.2 if force else 2.0)
                 if proc.is_alive():
                     proc.terminate()
+                    proc.join(timeout=2.0)
+                if proc.is_alive():
+                    # SIGTERM is ignorable (and undeliverable to a
+                    # SIGSTOP'd process); SIGKILL is not.
+                    proc.kill()
                     proc.join(timeout=2.0)
 
     def __enter__(self) -> "ShardDispatcher":

@@ -46,6 +46,7 @@ import warnings
 from collections import OrderedDict
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import faults
 from ..analysis.sanitize import TrackedLock
 from . import segment as seg
 from .catalog import Catalog
@@ -268,6 +269,14 @@ class EvalCache:
         path = seg.write_segment(self.segments_dir, records, name)
         if path is None:  # pragma: no cover - records is non-empty
             return 0
+        if faults.should_inject("lake.corrupt"):
+            # Chaos site: simulated bit rot on the just-published
+            # segment (first payload byte → CRC mismatch on read-back;
+            # the lake degrades to miss-and-recompute, never to wrong
+            # data).
+            faults.corrupt_file(
+                path, offset=len(seg.FILE_MAGIC) + seg.HEADER_SIZE
+            )
         self._seen.add(name)
         offset = len(seg.FILE_MAGIC)
         for ((triple, ts, raw), (comp, payload)) in zip(records, admitted):

@@ -16,14 +16,21 @@ HTTP library::
 
 :meth:`ServeClient.events` streams the job's NDJSON event log — replayed
 from the first event, live from then on — and the generator ends at the
-``end`` marker.  :meth:`ServeClient.run` is the one-call convenience:
-submit, stream to completion, return ``(final_state, events)``.
+``end`` marker.  A dropped or garbled connection mid-stream is healed
+transparently: the client reconnects with bounded backoff and resumes
+from the last event it saw (``/jobs/<id>/events?offset=N`` — the log is
+replayable, so resume is exact, no duplicates, no gaps).  Only a daemon
+that stays unreachable across the whole reconnect budget surfaces as a
+:class:`ConnectionError`.  :meth:`ServeClient.run` is the one-call
+convenience: submit, stream to completion, return
+``(final_state, events)``.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 from urllib.parse import urlsplit
 
@@ -31,11 +38,22 @@ from .protocol import JobSpec
 
 
 class ServeError(RuntimeError):
-    """A non-2xx daemon response; carries the HTTP status."""
+    """A non-2xx daemon response; carries the HTTP status.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` is the parsed ``Retry-After`` header in seconds
+    (503s set it; ``None`` otherwise) — the server's own advice on how
+    long to back off before resubmitting.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+    ):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.retry_after = retry_after
 
 
 class ServeClient:
@@ -73,12 +91,19 @@ class ServeClient:
         )
         resp = conn.getresponse()
         if resp.status >= 400:
+            retry_after: Optional[float] = None
+            raw_retry = resp.getheader("Retry-After")
+            if raw_retry is not None:
+                try:
+                    retry_after = float(raw_retry)
+                except ValueError:
+                    pass  # HTTP-date form; callers fall back to defaults
             try:
                 message = json.loads(resp.read()).get("error", "")
             except Exception:  # noqa: BLE001 - error body is best-effort
                 message = resp.reason
             conn.close()
-            raise ServeError(resp.status, message)
+            raise ServeError(resp.status, message, retry_after)
         if stream:
             return conn, resp  # caller iterates + closes
         data = json.loads(resp.read())
@@ -105,22 +130,74 @@ class ServeClient:
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("POST", f"/jobs/{job_id}/cancel")
 
-    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
-        """Stream a job's events (replay + live) until ``end``."""
-        conn, resp = self._request(
-            "GET", f"/jobs/{job_id}/events", stream=True
-        )
-        try:
-            for raw in resp:  # NDJSON: one event per line
-                line = raw.strip()
-                if not line:
-                    continue
-                event = json.loads(line)
-                yield event
-                if event.get("type") == "end":
-                    return
-        finally:
-            conn.close()
+    def events(
+        self,
+        job_id: str,
+        start: int = 0,
+        max_reconnects: int = 5,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream a job's events (replay + live) until ``end``.
+
+        Self-healing: a connection reset, a truncated NDJSON line or a
+        garbled frame triggers a reconnect with jittered-free bounded
+        backoff, resuming from the last *complete* event via the
+        server's ``?offset=N`` replay — exactly-once delivery as long
+        as the daemon comes back.  Any streamed progress refills the
+        reconnect budget; ``max_reconnects`` consecutive dead attempts
+        raise :class:`ConnectionError`.  ``start`` skips the first
+        ``start`` events (a caller resuming its own cursor).
+        """
+        cursor = start
+        attempts = 0
+        last_exc: Optional[BaseException] = None
+        while True:
+            try:
+                conn, resp = self._request(
+                    "GET",
+                    f"/jobs/{job_id}/events?offset={cursor}",
+                    stream=True,
+                )
+            except (ConnectionError, OSError) as exc:
+                last_exc = exc
+                conn = None
+            if conn is not None:
+                try:
+                    while True:
+                        raw = resp.readline()
+                        if not raw or not raw.endswith(b"\n"):
+                            # EOF without the end marker, or a line cut
+                            # mid-event: the event at `cursor` was not
+                            # fully delivered — reconnect and re-fetch.
+                            break
+                        line = raw.strip()
+                        if not line:
+                            continue
+                        try:
+                            event = json.loads(line)
+                        except json.JSONDecodeError:
+                            break  # garbled frame; replay from cursor
+                        cursor += 1
+                        attempts = 0  # progress refills the budget
+                        last_exc = None
+                        yield event
+                        if event.get("type") == "end":
+                            return
+                except (
+                    http.client.HTTPException,
+                    ConnectionError,
+                    OSError,
+                ) as exc:
+                    last_exc = exc
+                finally:
+                    conn.close()
+            attempts += 1
+            if attempts > max_reconnects:
+                raise ConnectionError(
+                    f"event stream for job {job_id} lost after "
+                    f"{cursor} events and {max_reconnects} reconnect "
+                    "attempts"
+                ) from last_exc
+            time.sleep(min(2.0, 0.1 * (2 ** attempts)))
 
     # ------------------------------------------------------------------
     def run(

@@ -16,12 +16,18 @@ flushed).
 
 Each job varies ``seed`` (``--seed-base + i``) so concurrent runs are
 distinct trajectories, not one cache-hit replayed N times.
+
+A 503 (full queue, draining) is back-pressure, not failure: submits
+honor the server's ``Retry-After`` and retry with bounded jittered
+exponential backoff (``--max-503-retries``) before giving up, and the
+retry count is reported alongside throughput.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import signal
 import subprocess
 import sys
@@ -57,6 +63,7 @@ class LoadResult:
     latencies_s: List[float] = field(default_factory=list)
     iterations: int = 0
     evictions: int = 0
+    retried_503: int = 0
     errors: List[str] = field(default_factory=list)
 
     @property
@@ -74,6 +81,7 @@ class LoadResult:
             "jobs_per_s": self.jobs_per_s,
             "iterations_streamed": self.iterations,
             "evictions": self.evictions,
+            "retried_503": self.retried_503,
             "latency_s": {
                 "min": pctl(lat, 0),
                 "p50": pctl(lat, 50),
@@ -94,12 +102,42 @@ class LoadResult:
             f"wall={self.wall_s:.2f}s",
             f"  throughput : {self.jobs_per_s:8.3f} jobs/s   "
             f"({self.iterations} iteration events streamed, "
-            f"{self.evictions} evictions)",
+            f"{self.evictions} evictions, "
+            f"{self.retried_503} 503-retries)",
             f"  lat(ms)    : min={ms(pctl(lat, 0))} "
             f"p50={ms(pctl(lat, 50))} p90={ms(pctl(lat, 90))} "
             f"p99={ms(pctl(lat, 99))} max={ms(pctl(lat, 100))}",
         ]
         return "\n".join(lines)
+
+
+def _submit_with_backoff(
+    client: ServeClient,
+    spec: JobSpec,
+    rng: random.Random,
+    max_retries: int,
+    result: LoadResult,
+    lock: threading.Lock,
+) -> Dict[str, Any]:
+    """Submit one job, absorbing 503 back-pressure.
+
+    Honors the server's ``Retry-After`` (plus up-to-50% jitter so a
+    herd of clients doesn't re-stampede in lockstep), doubling a base
+    delay when the header is absent.  Any other error propagates.
+    """
+    delay = 0.1
+    for attempt in range(max_retries + 1):
+        try:
+            return client.submit(spec)
+        except ServeError as exc:
+            if exc.status != 503 or attempt == max_retries:
+                raise
+            wait = exc.retry_after if exc.retry_after is not None else delay
+            delay = min(10.0, delay * 2)
+            with lock:
+                result.retried_503 += 1
+            time.sleep(wait * (1.0 + 0.5 * rng.random()))
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def _client_worker(
@@ -110,6 +148,7 @@ def _client_worker(
     lock: threading.Lock,
 ) -> None:
     client = ServeClient(url, timeout=args.timeout)
+    rng = random.Random(args.seed_base * 7919 + worker)
     for i in range(args.requests):
         spec = JobSpec(
             kind="optimize",
@@ -124,7 +163,14 @@ def _client_worker(
         )
         begin = time.perf_counter()
         try:
-            final, events = client.run(spec)
+            job = _submit_with_backoff(
+                client, spec, rng, args.max_503_retries, result, lock
+            )
+            events = list(client.events(job["id"]))
+            final = "unknown"
+            for event in events:
+                if event.get("type") == "end":
+                    final = event.get("state", "unknown")
         except (ServeError, OSError) as exc:
             with lock:
                 result.failed += 1

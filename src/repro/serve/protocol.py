@@ -19,6 +19,7 @@ emits, plus job lifecycle):
 ``run_start``  an optimizer run (or resumed continuation) began
 ``iteration``  one optimizer iteration's convergence stats
 ``run_end``    the optimizer loop returned (completed or paused)
+``retry``      a transient failure; the job requeued from checkpoint
 ``result``     a finished flow's Tables II/III metrics + final netlist
 ``error``      the job failed; ``message`` carries the reason
 ``end``        terminal marker; the event stream closes after it
@@ -52,6 +53,7 @@ _FLOW_FIELDS: Tuple[Tuple[str, Any], ...] = (
     ("effort", float),
     ("seed", int),
     ("jobs", int),
+    ("max_retries", int),
 )
 
 
@@ -63,6 +65,10 @@ class JobSpec:
     (a Table I benchmark name) names the accurate circuit.  ``jobs`` is
     the per-job shard-worker count (0: the server's default, then
     ``REPRO_JOBS``); every other field mirrors :class:`FlowConfig`.
+    ``max_retries`` caps how often a *transient* failure (a crashed
+    worker pool, an I/O error) requeues the job from its checkpoint
+    before it is marked failed; ``deadline_s`` is a per-job wall-clock
+    budget (``None``: the server's default, which may be no deadline).
     """
 
     kind: str = "optimize"  # "optimize" | "compare"
@@ -77,6 +83,8 @@ class JobSpec:
     seed: int = 0
     area_con: Optional[float] = None
     jobs: int = 0
+    max_retries: int = 2
+    deadline_s: Optional[float] = None
     #: Echoed back in snapshots; free-form client annotation.
     tag: Optional[str] = None
 
@@ -117,6 +125,13 @@ class JobSpec:
                     ) from None
         if payload.get("area_con") is not None:
             spec.area_con = float(payload["area_con"])
+        if payload.get("deadline_s") is not None:
+            try:
+                spec.deadline_s = float(payload["deadline_s"])
+            except (TypeError, ValueError):
+                raise SpecError("field 'deadline_s' must be a float") from None
+        if spec.max_retries < 0:
+            raise SpecError("'max_retries' must be >= 0")
         spec.tag = payload.get("tag")
         spec.method = str(payload.get("method", "Ours"))
         raw_methods = payload.get("methods")
@@ -152,9 +167,12 @@ class JobSpec:
             effort=self.effort,
             seed=self.seed,
             jobs=self.jobs,
+            max_retries=self.max_retries,
         )
         if self.area_con is not None:
             out["area_con"] = self.area_con
+        if self.deadline_s is not None:
+            out["deadline_s"] = self.deadline_s
         if self.tag is not None:
             out["tag"] = self.tag
         return out

@@ -14,14 +14,19 @@ Endpoints::
     GET  /jobs               all job snapshots
     GET  /jobs/<id>          one job snapshot
     GET  /jobs/<id>/events   stream events — NDJSON, or SSE with
-                             ``Accept: text/event-stream``
+                             ``Accept: text/event-stream``; an
+                             ``?offset=N`` query skips the first N
+                             events (reconnect/resume)
     POST /jobs/<id>/cancel   request cancellation
 
-Event streams replay from the first event, so connecting after a job
-finished still yields its complete history, terminated by the ``end``
-event.  On SIGINT/SIGTERM the daemon stops accepting, drains every
-in-flight run to a spool checkpoint (the same cooperative pause Ctrl-C
-uses in the CLI), flushes the evaluation-lake stats ledger, and exits 0.
+Event streams replay from the first event (or from ``?offset=N`` — the
+log is replayable, so a client that lost its connection after N events
+resumes exactly where it stopped), terminated by the ``end`` event.
+503 responses (full queue, draining) carry a ``Retry-After`` header so
+well-behaved clients back off instead of hammering.  On SIGINT/SIGTERM
+the daemon stops accepting, drains every in-flight run to a spool
+checkpoint (the same cooperative pause Ctrl-C uses in the CLI), flushes
+the evaluation-lake stats ledger, and exits 0.
 """
 
 from __future__ import annotations
@@ -56,10 +61,17 @@ _REASONS = {
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[int] = None,
+    ):
         super().__init__(message)
         self.status = status
         self.message = message
+        #: Seconds for a ``Retry-After`` header (503s set this).
+        self.retry_after = retry_after
 
 
 def _head(status: int, content_type: str, extra: str = "") -> bytes:
@@ -72,16 +84,30 @@ def _head(status: int, content_type: str, extra: str = "") -> bytes:
     ).encode()
 
 
-def _json_response(status: int, payload: Any) -> bytes:
+def _json_response(status: int, payload: Any, extra: str = "") -> bytes:
     body = (json.dumps(payload, separators=(",", ":")) + "\n").encode()
     return (
         _head(
             status,
             "application/json",
-            f"Content-Length: {len(body)}\r\n",
+            f"Content-Length: {len(body)}\r\n{extra}",
         )
         + body
     )
+
+
+def _query_offset(query: str) -> int:
+    """``offset=N`` from a raw query string (the only query we speak)."""
+    for pair in query.split("&"):
+        name, _, value = pair.partition("=")
+        if name == "offset":
+            try:
+                return max(0, int(value))
+            except ValueError:
+                raise _HttpError(
+                    400, f"offset must be an integer, not {value!r}"
+                ) from None
+    return 0
 
 
 async def _read_request(
@@ -132,8 +158,15 @@ class ServeApp:
             try:
                 await self._dispatch(writer, method, path, headers, body)
             except _HttpError as exc:
+                extra = (
+                    f"Retry-After: {exc.retry_after}\r\n"
+                    if exc.retry_after is not None
+                    else ""
+                )
                 writer.write(
-                    _json_response(exc.status, {"error": exc.message})
+                    _json_response(
+                        exc.status, {"error": exc.message}, extra
+                    )
                 )
             await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
@@ -154,7 +187,7 @@ class ServeApp:
         headers: Dict[str, str],
         body: bytes,
     ) -> None:
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         if path == "/healthz" and method == "GET":
             writer.write(_json_response(200, self.service.health()))
             return
@@ -176,7 +209,7 @@ class ServeApp:
                 return
             raise _HttpError(405, f"{method} not allowed on {path}")
         if path.startswith("/jobs/"):
-            await self._job_route(writer, method, path, headers)
+            await self._job_route(writer, method, path, headers, query)
             return
         raise _HttpError(404, f"no route {path!r}")
 
@@ -197,8 +230,13 @@ class ServeApp:
             raise _HttpError(400, str(exc)) from None
         try:
             job = self.service.submit(spec)
-        except (QueueFull, ServiceClosed) as exc:
-            raise _HttpError(503, str(exc)) from None
+        except QueueFull as exc:
+            # A full queue clears as soon as one job finishes.
+            raise _HttpError(503, str(exc), retry_after=1) from None
+        except ServiceClosed as exc:
+            # Draining never un-drains; tell clients to look elsewhere,
+            # but give load balancers a sane revalidation interval.
+            raise _HttpError(503, str(exc), retry_after=5) from None
         writer.write(_json_response(202, job.snapshot()))
 
     async def _job_route(
@@ -207,6 +245,7 @@ class ServeApp:
         method: str,
         path: str,
         headers: Dict[str, str],
+        query: str = "",
     ) -> None:
         parts = path.strip("/").split("/")  # ["jobs", id, tail?]
         job = self.service.jobs_by_id.get(parts[1])
@@ -225,7 +264,9 @@ class ServeApp:
             )
             return
         if tail == "events" and method == "GET":
-            await self._stream(writer, headers, job)
+            await self._stream(
+                writer, headers, job, _query_offset(query)
+            )
             return
         raise _HttpError(404, f"no route {path!r}")
 
@@ -234,6 +275,7 @@ class ServeApp:
         writer: asyncio.StreamWriter,
         headers: Dict[str, str],
         job,
+        offset: int = 0,
     ) -> None:
         sse = "text/event-stream" in headers.get("accept", "")
         encode = encode_sse if sse else encode_ndjson
@@ -242,7 +284,7 @@ class ServeApp:
         )
         writer.write(_head(200, ctype, "Cache-Control: no-store\r\n"))
         await writer.drain()
-        cursor = 0
+        cursor = offset
         while True:
             events = await job.wait_events(cursor)
             if not events:
@@ -270,6 +312,7 @@ async def _serve(args) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         logger=log,
+        job_deadline_s=getattr(args, "job_deadline", None),
     )
     await service.start()
     app = ServeApp(service)

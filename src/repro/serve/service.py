@@ -25,6 +25,22 @@ consumer; tests drive the service directly).  The contract:
   closes every session (tearing down shard pools), and flushes every
   open evaluation-lake stats ledger — the same teardown path the CLI's
   SIGINT handling installs, multiplied across jobs.
+* **Retry-from-checkpoint.**  A *transient* failure (a crashed shard
+  pool, an I/O error — :func:`repro.faults.is_transient`) does not fail
+  the job: it re-queues, up to ``spec.max_retries`` times, resuming
+  from the latest spool checkpoint when one exists (checkpoints are
+  written at evictions and drains; completed methods are never re-run).
+  Resume is bit-identical, so a retried job returns exactly the result
+  the unfaulted run would have.  Deterministic failures (a bad spec, a
+  poisoned library) still fail immediately — retrying them only burns
+  a slot.  Each retry posts a ``retry`` event carrying the attempt
+  count and the swallowed error.
+* **A job watchdog.**  Jobs may carry a wall-clock budget
+  (``spec.deadline_s``, else the service-wide ``job_deadline_s``);
+  a watchdog task interrupts any run past its budget and the job fails
+  with a deadline error instead of occupying a slot forever.  The
+  interrupt is the same cooperative stop eviction uses, so even a
+  deadline kill leaves a clean teardown behind.
 
 Events are published per job as JSON-safe dicts (see
 :mod:`repro.serve.protocol`), appended to a replayable per-job log:
@@ -41,6 +57,7 @@ import tempfile
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+from .. import faults
 from ..core.protocol import RunCallback
 from ..lake import flush_open_caches
 from ..netlist import write_verilog
@@ -57,6 +74,10 @@ CANCELLED = "cancelled"
 
 #: States after which a job's event stream closes.
 TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: Internal ``_execute`` outcome (never a public state): a transient
+#: failure that should requeue the job from its checkpoint.
+_RETRY = "retry"
 
 
 class QueueFull(RuntimeError):
@@ -87,6 +108,12 @@ class Job:
         self.checkpoint_path: Optional[str] = None
         #: Times this job was evicted to a checkpoint and re-queued.
         self.evictions = 0
+        #: Transient-failure retries consumed (vs ``spec.max_retries``).
+        self.retries = 0
+        #: First moment the job ever ran; the watchdog's deadline epoch.
+        self.first_started_at: Optional[float] = None
+        #: Set by the watchdog; a deadline kill fails instead of pausing.
+        self.deadline_hit = False
         #: The live session while the job runs (interrupt target).
         self.session: Optional[Session] = None
         self.cancel_requested = False
@@ -108,6 +135,8 @@ class Job:
             "finished_at": self.finished_at,
             "events": len(self.events),
             "evictions": self.evictions,
+            "retries": self.retries,
+            "max_retries": self.spec.max_retries,
             "results": self.results,
             "error": self.error,
         }
@@ -186,6 +215,16 @@ class _StreamCallback(RunCallback):
             "evaluations": stats.evaluations,
             "elapsed_s": event.elapsed_s,
         })
+        # Chaos site: a served job dying mid-run, *after* the iteration
+        # was streamed — callback exceptions propagate out of the
+        # optimizer loop, so this lands on the job-level failure wall
+        # and (being transient) exercises retry-from-checkpoint.
+        scope = self.job.spec.tag or self.job.id
+        if faults.should_inject("serve.crash", scope):
+            raise faults.InjectedFault(
+                f"injected crash in job {self.job.id} at iteration "
+                f"{event.iteration}"
+            )
 
     def on_run_end(self, result) -> None:
         self.service.post_threadsafe(self.job, {
@@ -212,6 +251,9 @@ class OptimizationService:
         cache_dir: evaluation-lake directory attached to every job's
             session (``None``: per-spec / environment resolution).
         logger: optional ``callable(str)`` for one-line request logs.
+        job_deadline_s: default wall-clock budget per job, measured
+            from the moment it first runs (``None``: no deadline);
+            a spec's ``deadline_s`` overrides it per job.
     """
 
     def __init__(
@@ -222,6 +264,7 @@ class OptimizationService:
         jobs: Optional[int] = None,
         cache_dir: Optional[str] = None,
         logger: Optional[Callable[[str], None]] = None,
+        job_deadline_s: Optional[float] = None,
     ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -230,6 +273,7 @@ class OptimizationService:
         self.spool = spool or tempfile.mkdtemp(prefix="repro-serve-")
         self.default_jobs = jobs
         self.cache_dir = cache_dir
+        self.job_deadline_s = job_deadline_s
         self._log = logger or (lambda line: None)
         self.started_at = time.time()
         self.jobs_by_id: Dict[str, Job] = {}
@@ -237,6 +281,7 @@ class OptimizationService:
         self._queue: "asyncio.Queue[Optional[Job]]" = asyncio.Queue()
         self._running: Dict[str, Job] = {}
         self._workers: List[asyncio.Task] = []
+        self._watchdog: Optional[asyncio.Task] = None
         self._draining = False
         self.loop: Optional[asyncio.AbstractEventLoop] = None
 
@@ -251,6 +296,9 @@ class OptimizationService:
             self._workers.append(
                 asyncio.create_task(self._worker(slot), name=f"slot-{slot}")
             )
+        self._watchdog = asyncio.create_task(
+            self._watch_deadlines(), name="job-watchdog"
+        )
 
     async def shutdown(self, drain: bool = True) -> None:
         """Stop intake, drain in-flight runs to checkpoints, tear down.
@@ -283,6 +331,13 @@ class OptimizationService:
         if self._workers:
             await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers.clear()
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            try:
+                await self._watchdog
+            except asyncio.CancelledError:
+                pass
+            self._watchdog = None
         flush_open_caches()
         self._log("service drained")
 
@@ -353,9 +408,42 @@ class OptimizationService:
                 continue
             await self._run_job(job)
 
+    async def _watch_deadlines(self) -> None:
+        """Interrupt any running job past its wall-clock budget.
+
+        Cooperative, like eviction: the interrupt stops the optimizer
+        at the next iteration boundary (a *wedged* pool is the shard
+        dispatcher's per-reply deadline's problem, not this one's).
+        The deadline clock starts when the job first runs and keeps
+        ticking across evictions and retries — a budget, not a lease.
+        """
+        while True:
+            await asyncio.sleep(0.2)
+            now = time.time()
+            for job in list(self._running.values()):
+                deadline = (
+                    job.spec.deadline_s
+                    if job.spec.deadline_s is not None
+                    else self.job_deadline_s
+                )
+                if (
+                    deadline is None
+                    or job.deadline_hit
+                    or job.first_started_at is None
+                    or now - job.first_started_at <= deadline
+                ):
+                    continue
+                job.deadline_hit = True
+                self._log(f"{job.id} exceeded its {deadline:.1f}s deadline")
+                session = job.session
+                if session is not None:
+                    session.interrupt()
+
     async def _run_job(self, job: Job) -> None:
         job.state = RUNNING
         job.started_at = time.time()
+        if job.first_started_at is None:
+            job.first_started_at = job.started_at
         job.preempt_requested = False
         self._running[job.id] = job
         await job.post(self._state_event(job))
@@ -363,7 +451,37 @@ class OptimizationService:
             outcome = await asyncio.to_thread(self._execute, job)
         finally:
             self._running.pop(job.id, None)
-        if outcome == PAUSED and not job.cancel_requested:
+        if job.deadline_hit and outcome in (PAUSED, _RETRY):
+            # A deadline kill is terminal however the run unwound.
+            await self._finish(
+                job, FAILED, error="job exceeded its wall-clock deadline"
+            )
+        elif outcome == _RETRY and self._draining:
+            # Nobody will drain the queue again; fail loudly instead of
+            # parking the job behind the shutdown sentinels.
+            await self._finish(job, FAILED, error=job.error)
+        elif outcome == _RETRY:
+            job.retries += 1
+            await job.post({
+                "type": "retry",
+                "job": job.id,
+                "attempt": job.retries,
+                "max_retries": job.spec.max_retries,
+                "error": job.error,
+                "from_checkpoint": bool(
+                    job.checkpoint_path
+                    and os.path.exists(job.checkpoint_path)
+                ),
+            })
+            self._log(
+                f"{job.id} transient failure ({job.error}); retry "
+                f"{job.retries}/{job.spec.max_retries}"
+            )
+            job.error = None
+            job.state = QUEUED
+            await job.post(self._state_event(job))
+            self._queue.put_nowait(job)
+        elif outcome == PAUSED and not job.cancel_requested:
             if self._draining:
                 # Leave the checkpoint in the spool; the stream stays
                 # open-ended only until shutdown posts the end marker.
@@ -431,6 +549,14 @@ class OptimizationService:
         shard pools torn down, lake ledger flushed — and a cooperative
         interrupt (eviction, cancel, drain) checkpoints the paused
         state into the spool so the continuation is bit-identical.
+
+        A *transient* failure (:func:`repro.faults.is_transient`) with
+        retry budget left returns ``_RETRY`` instead of ``FAILED``;
+        the job requeues and resumes from its latest spool checkpoint
+        (mid-step optimizer state is never captured on the exception
+        path — it may be half-mutated — so the resume point is the
+        last eviction/drain checkpoint, else a method restart; either
+        replays a bit-identical trajectory).
         """
         spec = job.spec
         try:
@@ -465,6 +591,14 @@ class OptimizationService:
             return DONE
         except Exception as exc:  # noqa: BLE001 - job-level failure wall
             job.error = f"{type(exc).__name__}: {exc}"
+            if (
+                faults.is_transient(exc)
+                and job.retries < spec.max_retries
+                and not job.cancel_requested
+                and not job.deadline_hit
+                and not self._draining
+            ):
+                return _RETRY
             return FAILED
         finally:
             job.session = None

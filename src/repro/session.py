@@ -614,6 +614,20 @@ class Session:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    def fault_stats(self) -> Dict[str, int]:
+        """Recovery counters of the session's shard pool, if one exists.
+
+        A copy of :attr:`ShardDispatcher.stats` (``respawns`` /
+        ``retries`` / ``timeouts`` / ``replays`` /
+        ``serial_fallbacks``), or ``{}`` for a serial session.  The
+        chaos CI job publishes these to its summary; all-zero under an
+        armed fault schedule means the schedule never actually fired.
+        """
+        dispatcher = getattr(self.ctx, "_dispatcher", None)
+        if dispatcher is None:
+            return {}
+        return dict(dispatcher.stats)
+
     def close(self) -> None:
         """Release the session's external resources deterministically.
 

@@ -23,7 +23,9 @@ import pytest
 
 from reference_circuits import build_adder
 
+from repro import faults
 from repro.core.protocol import RunCallback
+from repro.faults import FaultSchedule
 from repro.netlist import write_verilog
 from repro.serve import (
     JobSpec,
@@ -304,14 +306,166 @@ class TestService:
 
 
 # ----------------------------------------------------------------------
+# self-healing: retry-from-checkpoint, retry exhaustion, job deadlines
+# ----------------------------------------------------------------------
+class TestRetry:
+    @pytest.fixture(autouse=True)
+    def _own_schedule(self):
+        """Each test installs its own schedule; restore the env after
+        (chaos CI runs this file under an env schedule on purpose)."""
+        yield
+        faults.reset()
+
+    def test_transient_failure_retries_and_matches_serial(
+        self, tmp_path
+    ):
+        """A job whose run dies transiently mid-stream is requeued and
+        finishes bit-identical to the unfaulted serial run."""
+        spec = quick_spec(seed=81, tag="flaky")
+        # The 2nd streamed iteration raises an InjectedFault (transient)
+        # — only once, so the retry runs clean.
+        faults.install(FaultSchedule("serve.crash@flaky=2"))
+        service = OptimizationService(
+            capacity=1, spool=str(tmp_path / "spool")
+        )
+        (job,) = asyncio.run(_drive(service, [spec]))
+        assert job.state == "done"
+        assert job.retries == 1
+        (retry,) = events_of(job, "retry")
+        assert retry["attempt"] == 1
+        assert retry["max_retries"] == spec.max_retries
+        assert "InjectedFault" in retry["error"]
+        assert job.snapshot()["retries"] == 1
+        flow = serial_flow(spec)
+        (result,) = events_of(job, "result")
+        assert result["netlist"] == write_verilog(flow.circuit)
+        assert result["error"] == flow.error
+        assert result["evaluations"] == flow.optimization.evaluations
+
+    def test_retry_resumes_from_eviction_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance pin: evict (checkpoint spooled), resume, crash
+        transiently in the *resumed* run — the retry warm-starts from
+        the checkpoint and the result is still the serial run's, bit
+        for bit."""
+        from repro.serve import service as service_mod
+
+        long_spec = quick_spec(
+            seed=21, effort=0.4, vectors=128, tag="victim"
+        )
+        short_spec = quick_spec(seed=22)
+        # Hit 5 of serve.crash@victim lands after the eviction (the
+        # gate below caps the pre-eviction segment at a couple of
+        # iterations; the run streams 8 total), i.e. inside the
+        # checkpoint-resumed session.
+        faults.install(FaultSchedule("serve.crash@victim=5"))
+        service = OptimizationService(
+            capacity=1, spool=str(tmp_path / "spool")
+        )
+        gate = threading.Event()
+        orig = service_mod._StreamCallback.on_iteration
+
+        def gated(cb_self, event):
+            orig(cb_self, event)
+            if cb_self.job.spec.tag == "victim" and not gate.is_set():
+                gate.wait(timeout=60)
+
+        monkeypatch.setattr(
+            service_mod._StreamCallback, "on_iteration", gated
+        )
+
+        async def scenario():
+            await service.start()
+            victim = service.submit(long_spec)
+            cursor = 0
+            while not events_of(victim, "iteration"):
+                cursor += len(await victim.wait_events(cursor))
+            newcomer = service.submit(short_spec)  # requests eviction
+            gate.set()
+            for job in (victim, newcomer):
+                cursor = 0
+                while not job.terminal:
+                    cursor += len(await job.wait_events(cursor))
+            await service.shutdown()
+            return victim, newcomer
+
+        victim, newcomer = asyncio.run(scenario())
+        assert newcomer.state == "done"
+        assert victim.state == "done"
+        assert victim.evictions >= 1
+        assert victim.retries == 1
+        (retry,) = events_of(victim, "retry")
+        assert retry["from_checkpoint"] is True
+        flow = serial_flow(long_spec)
+        (result,) = events_of(victim, "result")
+        assert result["netlist"] == write_verilog(flow.circuit)
+        assert result["error"] == flow.error
+        assert result["evaluations"] == flow.optimization.evaluations
+
+    def test_retry_budget_exhausts_to_failed(self, tmp_path):
+        spec = quick_spec(seed=82, tag="doomed", max_retries=0)
+        faults.install(FaultSchedule("serve.crash@doomed=1"))
+        service = OptimizationService(
+            capacity=1, spool=str(tmp_path / "spool")
+        )
+        (job,) = asyncio.run(_drive(service, [spec]))
+        assert job.state == "failed"
+        assert job.retries == 0
+        assert not events_of(job, "retry")
+        assert "InjectedFault" in job.error
+
+    def test_deterministic_failure_is_not_retried(self, tmp_path):
+        """The transient/deterministic split: a bad netlist fails
+        immediately, never consuming the retry budget."""
+        spec = JobSpec.from_payload(
+            {"netlist": "module busted(", "max_retries": 5, **QUICK}
+        )
+        service = OptimizationService(
+            capacity=1, spool=str(tmp_path / "spool")
+        )
+        (job,) = asyncio.run(_drive(service, [spec]))
+        assert job.state == "failed"
+        assert job.retries == 0
+        assert not events_of(job, "retry")
+
+    def test_job_deadline_fails_the_job(self, tmp_path, monkeypatch):
+        """A per-job wall-clock deadline interrupts the run and marks
+        the job failed — it does not park as paused or retry forever."""
+        from repro.serve import service as service_mod
+
+        spec = quick_spec(seed=83, deadline_s=0.05)
+        # Pace the run so it is still mid-flight when the watchdog's
+        # first scan lands (a quick job can finish inside one scan
+        # interval and the deadline would never be observed).
+        orig = service_mod._StreamCallback.on_iteration
+
+        def slowed(cb_self, event):
+            orig(cb_self, event)
+            time.sleep(0.3)
+
+        monkeypatch.setattr(
+            service_mod._StreamCallback, "on_iteration", slowed
+        )
+        service = OptimizationService(
+            capacity=1, spool=str(tmp_path / "spool")
+        )
+        (job,) = asyncio.run(_drive(service, [spec]))
+        assert job.state == "failed"
+        assert "deadline" in job.error
+        (end,) = events_of(job, "end")
+        assert end["state"] == "failed"
+
+
+# ----------------------------------------------------------------------
 # the HTTP layer (real sockets, real clients on threads)
 # ----------------------------------------------------------------------
 class _Daemon:
     """An in-process daemon on a real socket, for client-side tests."""
 
-    def __init__(self, tmp_path, capacity=2):
+    def __init__(self, tmp_path, capacity=2, **service_kw):
         self.service = OptimizationService(
-            capacity=capacity, spool=str(tmp_path / "spool")
+            capacity=capacity, spool=str(tmp_path / "spool"), **service_kw
         )
         self.port = None
         self._ready = threading.Event()
@@ -416,6 +570,186 @@ class TestHttp:
             again = list(client.events(job["id"]))
         assert first == again
         assert first[-1]["type"] == "end"
+
+    def test_offset_resumes_mid_log(self, tmp_path):
+        """``?offset=N`` replays from the Nth event — the server half
+        of reconnect-and-resume — and a garbage offset is a 400."""
+        with _Daemon(tmp_path) as client:
+            job = client.submit(quick_spec(seed=62))
+            full = list(client.events(job["id"]))
+            tail = list(client.events(job["id"], start=3))
+            assert tail == full[3:]
+            # Resuming exactly at the end marker yields just the end.
+            last = list(client.events(job["id"], start=len(full) - 1))
+            assert last == full[-1:]
+            with pytest.raises(ServeError) as excinfo:
+                client._request(
+                    "GET", f"/jobs/{job['id']}/events?offset=soon"
+                )
+            assert excinfo.value.status == 400
+
+    def test_queue_full_503_carries_retry_after(self, tmp_path):
+        """Back-pressure is advertised, not just thrown: the 503 tells
+        clients how long to back off, and the client surfaces it."""
+        with _Daemon(tmp_path, capacity=1, max_pending=1) as client:
+            ids, excinfo = [], None
+            for seed in range(91, 96):
+                try:
+                    ids.append(client.submit(quick_spec(seed=seed))["id"])
+                except ServeError as exc:
+                    excinfo = exc
+                    break
+            assert excinfo is not None, "queue never filled"
+            assert excinfo.status == 503
+            assert excinfo.retry_after == 1.0
+            # The queue drains: everything accepted still completes.
+            for job_id in ids:
+                events = list(client.events(job_id))
+                assert events[-1]["type"] == "end"
+
+
+# ----------------------------------------------------------------------
+# client self-healing (reconnect/resume and its failure mode)
+# ----------------------------------------------------------------------
+class _ScriptedResp:
+    """A fake streaming response: yields frames, then EOF or an error."""
+
+    def __init__(self, frames):
+        self._frames = list(frames)
+
+    def readline(self):
+        if not self._frames:
+            return b""
+        frame = self._frames.pop(0)
+        if isinstance(frame, Exception):
+            raise frame
+        return frame
+
+
+class _ScriptedConn:
+    def close(self):
+        pass
+
+
+def _frame(i, kind="iteration"):
+    return json.dumps({"type": kind, "n": i}).encode() + b"\n"
+
+
+class TestClientReconnect:
+    def _client(self, monkeypatch, scripts):
+        """A ServeClient whose connections follow ``scripts``: each
+        entry is an exception (connect fails) or a frame list; the
+        requested offsets are recorded."""
+        client = ServeClient("http://127.0.0.1:1")
+        offsets = []
+
+        def scripted_request(method, path, **kw):
+            offsets.append(int(path.rpartition("=")[2]))
+            step = scripts.pop(0)
+            if isinstance(step, Exception):
+                raise step
+            return _ScriptedConn(), _ScriptedResp(step)
+
+        monkeypatch.setattr(client, "_request", scripted_request)
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", lambda s: None
+        )
+        return client, offsets
+
+    def test_resumes_after_truncation_and_dead_daemon(
+        self, monkeypatch
+    ):
+        """A mid-event cut, then a refused reconnect, then recovery:
+        the stream is delivered exactly once, in order, resuming from
+        the last complete event."""
+        client, offsets = self._client(
+            monkeypatch,
+            [
+                [_frame(0), _frame(1), b'{"type": "itera'],  # cut
+                ConnectionRefusedError("daemon restarting"),
+                [_frame(2), _frame(3, "end")],
+            ],
+        )
+        events = list(client.events("j1"))
+        assert [e["n"] for e in events] == [0, 1, 2, 3]
+        assert events[-1]["type"] == "end"
+        assert offsets == [0, 2, 2]
+
+    def test_progress_refills_the_reconnect_budget(self, monkeypatch):
+        """Each delivered event resets the attempt counter, so a long
+        flaky stream outlives ``max_reconnects`` total drops."""
+        scripts = []
+        for i in range(4):
+            scripts.append([_frame(i)])  # one event, then EOF
+            scripts.append(ConnectionRefusedError("blip"))
+        scripts.append([_frame(4, "end")])
+        client, offsets = self._client(monkeypatch, scripts)
+        events = list(client.events("j1", max_reconnects=2))
+        assert [e["n"] for e in events] == [0, 1, 2, 3, 4]
+        assert offsets == [0, 1, 1, 2, 2, 3, 3, 4, 4]
+
+    def test_exhausted_budget_raises_connection_error(
+        self, monkeypatch
+    ):
+        client, _ = self._client(
+            monkeypatch,
+            [
+                [_frame(0)],
+                ConnectionRefusedError("down"),
+                ConnectionRefusedError("still down"),
+                ConnectionRefusedError("gone"),
+            ],
+        )
+        seen = []
+        with pytest.raises(ConnectionError, match="after 1 events"):
+            for event in client.events("j1", max_reconnects=2):
+                seen.append(event)
+        assert [e["n"] for e in seen] == [0]
+
+    def test_4xx_propagates_without_retry(self, monkeypatch):
+        client, offsets = self._client(
+            monkeypatch, [ServeError(404, "no such job")]
+        )
+        with pytest.raises(ServeError):
+            list(client.events("j404"))
+        assert offsets == [0]  # one attempt, no retry loop
+
+    def test_sigkilled_daemon_surfaces_clean_client_error(
+        self, tmp_path
+    ):
+        """The ungraceful end: SIGKILL the daemon mid-stream.  The
+        client burns its reconnect budget and raises ConnectionError —
+        no hang, no garbled partial event escaping to the caller."""
+        env = {**os.environ, "PYTHONUNBUFFERED": "1"}
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH")) if p
+        )
+        env.pop("REPRO_CACHE", None)  # keep the run slow enough
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--capacity", "1",
+                "--spool", str(tmp_path / "spool"), "--quiet",
+            ],
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stderr.readline()
+            assert "listening on " in line, line
+            url = line.rsplit(" ", 1)[-1].strip()
+            client = ServeClient(url, timeout=30)
+            spec = quick_spec(seed=72, effort=0.6, vectors=256)
+            job = client.submit(spec)
+            with pytest.raises(ConnectionError, match="reconnect"):
+                for event in client.events(job["id"], max_reconnects=2):
+                    if event["type"] == "iteration":
+                        proc.kill()  # SIGKILL: no drain, no goodbye
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait()
 
 
 # ----------------------------------------------------------------------
